@@ -1,0 +1,45 @@
+"""Shared reporting helpers for the per-table/figure benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports and also appends them to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md numbers are regenerable.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: list[str]) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def code_lines(obj) -> int:
+    """Count non-blank, non-comment source lines of a class/function/module."""
+    source = inspect.getsource(obj)
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            count += 1
+    return count
+
+
+def wall_time(fn, repeats: int = 3, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats

@@ -1,0 +1,61 @@
+"""Fig. 11 — execution-time breakdown: Amanda framework vs tool routines.
+
+For each use case, splits the instrumentation-side time into the framework
+share (context construction, callback management, action evaluation plumbing)
+and the tool share (user analysis + instrumentation routines).
+
+Expected shape: computation-heavy tools (QAT fake-quant math) are dominated
+by tool time; light observation tools (tracing) carry a visible framework
+share.
+"""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda.tools import (ExecutionTraceTool, FlopsProfilingTool,
+                                MagnitudePruningTool, QATTool,
+                                SparsityProfilingTool)
+
+from _common import report
+
+TOOLS = {
+    "Tracing": ExecutionTraceTool,
+    "Pruning": lambda: MagnitudePruningTool(sparsity=0.5),
+    "Profiling": FlopsProfilingTool,
+    "Sparsity": SparsityProfilingTool,
+    "QAT": lambda: QATTool(bits=8),
+}
+
+
+def run_breakdown():
+    rng = np.random.default_rng(0)
+    model = M.resnet18()
+    x = E.tensor(rng.standard_normal((2, 3, 16, 16)))
+    rows = []
+    for name, factory in TOOLS.items():
+        tool = factory()
+        amanda.manager.reset_timers()
+        with amanda.apply(tool):
+            for _ in range(3):
+                model(x)
+                amanda.new_iteration()
+            timers = dict(amanda.manager.timers)
+        total = timers["framework"] + timers["tool"]
+        tool_share = 100.0 * timers["tool"] / total if total else 0.0
+        rows.append((name, 100.0 - tool_share, tool_share))
+    return rows
+
+
+def test_fig11_breakdown(benchmark):
+    rows = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    lines = [f"{'use case':<10} {'framework %':>12} {'tool %':>8}"]
+    for name, framework_share, tool_share in rows:
+        lines.append(f"{name:<10} {framework_share:>11.1f}% {tool_share:>7.1f}%")
+    report("fig11_breakdown", lines)
+
+    shares = {name: tool_share for name, _, tool_share in rows}
+    # QAT's heavy per-tensor quantization math dominates its budget
+    assert shares["QAT"] > shares["Tracing"]
+    assert all(0.0 <= share <= 100.0 for share in shares.values())

@@ -1,0 +1,55 @@
+"""Fig. 8 — operator-level GPU time breakdown with kernel-level profiling.
+
+Reproduces the two pie charts: ResNet-50 forward time broken down by operator
+type, and the convolution operator's time broken down by kernel/algorithm
+(im2col-GEMM vs Winograd vs FFT vs 1x1-GEMM) via the CUPTI-analog interface.
+
+Expected shape: convolutions dominate op-level time; the conv kernel mix
+contains several real algorithms (the paper's point that im2col dominates but
+Winograd/FFT appear for specific shapes).
+"""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda.tools import KernelProfilingTool
+
+from _common import report
+
+
+def run_kernel_breakdown():
+    rng = np.random.default_rng(0)
+    tool = KernelProfilingTool()
+    model = M.resnet50(width=8)
+    x = E.tensor(rng.standard_normal((4, 3, 16, 16)))
+    with amanda.apply(tool):
+        for _ in range(3):
+            model(x)
+            amanda.new_iteration()
+    return tool
+
+
+def test_fig8_kernel_breakdown(benchmark):
+    tool = benchmark.pedantic(run_kernel_breakdown, rounds=1, iterations=1)
+
+    op_level = tool.op_level_breakdown()
+    total = sum(op_level.values()) or 1.0
+    lines = ["Operator-level GPU time breakdown (ResNet50, forward):"]
+    for op, seconds in sorted(op_level.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {op:<18} {100 * seconds / total:6.2f}%")
+
+    conv_kernels = tool.kernel_level_breakdown("conv2d")
+    conv_total = sum(conv_kernels.values()) or 1.0
+    lines.append("Kernel-level breakdown of conv2d:")
+    for kernel, seconds in sorted(conv_kernels.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {kernel:<18} {100 * seconds / conv_total:6.2f}%")
+
+    mix = tool.conv_algorithm_mix()
+    lines.append(f"Conv algorithm launch mix: {mix}")
+    report("fig8_kernel_breakdown", lines)
+
+    # shape assertions from the paper
+    assert max(op_level, key=op_level.get) == "conv2d"
+    assert len(mix) >= 2  # several conv algorithms in play

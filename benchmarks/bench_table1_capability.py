@@ -1,0 +1,133 @@
+"""Tbl. 1 — computation-state requirements vs. interface capabilities.
+
+Top part: for each evaluated instrumentation task, which computation states it
+touches (weight / weight-gradient / activation / activation-gradient), its
+instrumentation-point granularity, and whether it needs graph structure —
+derived from the tools' actual registrations and accesses, measured by
+running each tool on a probe model.
+
+Bottom part: what each instrumentation interface can deliver, measured by
+probing the module-hook baseline and Amanda on a model containing functional
+ops (where "Partial" for module hooks comes from).
+"""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda import ActionType, Tool
+from repro.amanda.tools import (ActivationPruningTool, DynamicPTQTool,
+                                EffectivePathTool, FlopsProfilingTool,
+                                GraphTracingTool, MagnitudePruningTool,
+                                QATTool, StaticPTQTool)
+from repro.baselines import ModuleHookTracer
+from repro.eager import F
+
+from _common import report
+
+
+def probe_tool(tool_factory, needs_backward=True):
+    """Run a tool on a probe train step; report which states it touched."""
+    tool = tool_factory()
+    model = M.LeNet()
+    x = E.tensor(np.random.default_rng(0).standard_normal((1, 3, 16, 16)))
+    with amanda.apply(tool):
+        logits = model(x)
+        if needs_backward:
+            F.cross_entropy(logits, E.tensor(np.array([0]))).backward()
+        actions = [a for record in amanda.manager.action_cache.values()
+                   for a in record.forward_actions + record.backward_actions]
+    touched = {
+        "weight": any(a.type == ActionType.INSERT_BEFORE_OP
+                      and a.tensor_indices and 1 in a.tensor_indices
+                      for a in actions),
+        "weight_grad": any(a.type == ActionType.INSERT_AFTER_BACKWARD_OP
+                           for a in actions),
+        "activation": any(
+            (a.type == ActionType.INSERT_BEFORE_OP
+             and (a.tensor_indices is None or 0 in a.tensor_indices))
+            or a.type == ActionType.INSERT_AFTER_OP
+            for a in actions),
+        "activation_grad": any(a.type == ActionType.INSERT_BEFORE_BACKWARD_OP
+                               for a in actions),
+        "graph": any(isinstance(dep, GraphTracingTool)
+                     for dep in tool_factory().dependencies),
+    }
+    return touched
+
+
+TASKS = [
+    ("Static PTQ", lambda: StaticPTQTool(bits=8), False),
+    ("Dynamic PTQ", lambda: DynamicPTQTool(bits=8), False),
+    ("QAT", lambda: QATTool(bits=8), True),
+    ("Weight Pruning", lambda: MagnitudePruningTool(sparsity=0.5), True),
+    ("Activation Pruning", lambda: ActivationPruningTool(keep_ratio=0.5), True),
+    ("Profiling", FlopsProfilingTool, False),
+    ("Effective Path", EffectivePathTool, True),
+]
+
+
+def yes_no(flag):
+    return "yes" if flag else "no"
+
+
+def run_capability_matrix():
+    rows = []
+    for name, factory, needs_backward in TASKS:
+        touched = probe_tool(factory, needs_backward)
+        rows.append((name, touched))
+    return rows
+
+
+def measure_interface_capability():
+    """Module hooks vs Amanda on a model with functional ops."""
+    model = M.resnet18()
+    x = E.tensor(np.random.default_rng(0).standard_normal((1, 3, 16, 16)))
+    tracer = GraphTracingTool()
+    with amanda.apply(tracer):
+        F.cross_entropy(model(x), E.tensor(np.array([0]))).backward()
+    model.zero_grad()
+    hooks = ModuleHookTracer(model).attach()
+    F.cross_entropy(model(x), E.tensor(np.array([0]))).backward()
+    hooks.detach()
+    return {
+        "module_hook_fwd": len(hooks.forward_events),
+        "module_hook_bwd": len(hooks.backward_events),
+        "amanda_fwd": len(tracer.forward_nodes()),
+        "amanda_bwd": len(tracer.backward_nodes()),
+    }
+
+
+def test_table1_capability(benchmark):
+    rows = benchmark.pedantic(run_capability_matrix, rounds=1, iterations=1)
+    lines = [f"{'task':<20} {'W':>4} {'dW':>4} {'A':>4} {'dA':>4} {'graph':>6}"]
+    for name, touched in rows:
+        lines.append(
+            f"{name:<20} {yes_no(touched['weight']):>4} "
+            f"{yes_no(touched['weight_grad']):>4} "
+            f"{yes_no(touched['activation']):>4} "
+            f"{yes_no(touched['activation_grad']):>4} "
+            f"{yes_no(touched['graph']):>6}")
+    coverage = measure_interface_capability()
+    lines.append("")
+    lines.append("Interface capability (ResNet18 train step):")
+    lines.append(f"  module hooks: {coverage['module_hook_fwd']} fwd / "
+                 f"{coverage['module_hook_bwd']} bwd points (partial)")
+    lines.append(f"  Amanda:       {coverage['amanda_fwd']} fwd / "
+                 f"{coverage['amanda_bwd']} bwd operator points")
+    report("table1_capability", lines)
+
+    matrix = dict(rows)
+    # the Tbl. 1 requirement structure
+    assert matrix["Static PTQ"]["weight"]
+    assert not matrix["Static PTQ"]["activation_grad"]
+    assert matrix["Dynamic PTQ"]["weight"] and matrix["Dynamic PTQ"]["activation"]
+    assert matrix["QAT"]["weight"] and matrix["QAT"]["activation"]
+    assert matrix["QAT"]["weight_grad"]
+    assert matrix["Weight Pruning"]["weight"] and \
+        matrix["Weight Pruning"]["weight_grad"]
+    assert matrix["Activation Pruning"]["activation"]
+    assert matrix["Effective Path"]["graph"]
+    assert not matrix["Profiling"]["graph"]
+    assert coverage["amanda_fwd"] > coverage["module_hook_fwd"]

@@ -1,0 +1,57 @@
+"""Prune-and-fine-tune workflow (the Tbl. 4 scenario) on synthetic data.
+
+Trains a LeNet, prunes 60% of its weights with the tile-wise pruning tool,
+then fine-tunes *under the mask*: forward uses masked weights, weight
+gradients are masked by the backward instrumentation, so pruned coordinates
+stay dead while the surviving weights recover the accuracy.
+
+Run:  python examples/prune_and_finetune.py
+"""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as models
+from repro.amanda.tools import TileWisePruningTool
+from repro.data import ClassificationDataset
+from repro.eager import F
+
+
+def train(model, data, optimizer, epochs):
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model(E.tensor(data.train_x)),
+                               E.tensor(data.train_y))
+        loss.backward()
+        optimizer.step()
+    return loss.item()
+
+
+def main():
+    data = ClassificationDataset(train_n=96, test_n=48, noise=1.2, seed=3)
+    model = models.LeNet(rng=np.random.default_rng(0))
+    optimizer = E.optim.Adam(model.parameters(), lr=0.01)
+
+    def accuracy():
+        return data.accuracy(lambda x: model(E.tensor(x)).data)
+
+    train(model, data, optimizer, epochs=15)
+    dense_accuracy = accuracy()
+    print(f"dense accuracy:          {dense_accuracy:.1%}")
+
+    tool = TileWisePruningTool(tile_shape=(2, 2), sparsity=0.6)
+    with amanda.apply(tool):
+        pruned_accuracy = accuracy()
+        print(f"pruned (60% tiles):      {pruned_accuracy:.1%}  "
+              f"(sparsity {tool.overall_sparsity():.1%})")
+        train(model, data, optimizer, epochs=15)
+        finetuned_accuracy = accuracy()
+        print(f"after fine-tuning:       {finetuned_accuracy:.1%}")
+
+    recovered = finetuned_accuracy - pruned_accuracy
+    print(f"fine-tuning recovered {recovered:+.1%} accuracy under the mask")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Quickstart: write the paper's Lst. 1 pruning tool and apply it to ResNet.
+
+Demonstrates the core Amanda workflow:
+
+1. subclass ``amanda.Tool``;
+2. register *analysis routines* (run once per operator, may inspect weights
+   and record actions);
+3. record *instrumentation routines* (run at every execution) with
+   ``insert_before_op`` / ``insert_after_backward_op``;
+4. apply the tool to any model with ``amanda.apply`` — no model source
+   changes needed.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as models
+from repro.eager import F
+
+
+class PruningTool(amanda.Tool):
+    """Magnitude pruning of conv weights + their gradients (paper Lst. 1)."""
+
+    def __init__(self, sparsity: float = 0.5):
+        super().__init__()
+        self.sparsity = sparsity
+        self.masks = {}
+        self.weights = {}
+        # register callbacks in forward and backward execution
+        self.add_inst_for_op(self.instrumentation)
+        self.add_inst_for_op(self.backward_instrumentation, backward=True)
+
+    # arbitrary pruning algorithm
+    def get_mask(self, weight: np.ndarray) -> np.ndarray:
+        k = int(weight.size * self.sparsity)
+        threshold = np.partition(np.abs(weight).reshape(-1), k - 1)[k - 1]
+        return (np.abs(weight) > threshold).astype(weight.dtype)
+
+    # analysis routines
+    def instrumentation(self, context: amanda.OpContext):
+        if context["type"] in ("conv2d",):
+            weight = context.get_inputs()[1]
+            mask = self.get_mask(weight.data)
+            context["mask"] = mask
+            self.masks[context.get_op_id()] = mask
+            self.weights[context.get_op_id()] = weight
+            context.insert_before_op(self.mask_forward_weight,
+                                     inputs=[1], mask=mask)
+
+    def backward_instrumentation(self, context: amanda.OpContext):
+        if context.get("backward_type") in ("conv2d_backward_weight",):
+            context.insert_after_backward_op(self.mask_backward_gradient,
+                                             grad_inputs=[0],
+                                             mask=context["mask"])
+
+    # instrumentation routines
+    def mask_forward_weight(self, weight, mask):
+        return weight * mask
+
+    def mask_backward_gradient(self, weight_grad, mask):
+        return weight_grad * mask
+
+
+def main():
+    rng = np.random.default_rng(0)
+    resnet50 = models.resnet50()
+    model_input = E.tensor(rng.standard_normal((2, 3, 16, 16)))
+    labels = E.tensor(rng.integers(0, 4, 2))
+
+    # apply instrumentation tool to DNN execution
+    tool = PruningTool(sparsity=0.5)
+    with amanda.apply(tool):
+        logits = resnet50(model_input)
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+
+    print(f"instrumented {len(tool.masks)} conv operators")
+    zeros = sum(int((m == 0).sum()) for m in tool.masks.values())
+    total = sum(m.size for m in tool.masks.values())
+    print(f"overall conv-weight sparsity: {zeros / total:.1%}")
+
+    # gradients of pruned weights are masked too (fine-tuning keeps them 0)
+    masked = sum(
+        int((tool.weights[op_id].grad[mask == 0] == 0).all())
+        for op_id, mask in tool.masks.items()
+        if tool.weights[op_id].grad is not None)
+    print(f"gradient masking verified on {masked} conv weights")
+
+    # outside the `with` block the model runs vanilla again
+    vanilla = resnet50(model_input)
+    print(f"vanilla logits after exit: {vanilla.data[0].round(3)}")
+
+
+if __name__ == "__main__":
+    main()

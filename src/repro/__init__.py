@@ -1,0 +1,22 @@
+"""Reproduction of "Amanda: Unified Instrumentation Framework for Deep Neural
+Networks" (ASPLOS 2024).
+
+Subpackages
+-----------
+``repro.amanda``
+    The public instrumentation API (Tool, OpContext, apply, control APIs).
+``repro.eager`` / ``repro.graph``
+    The two from-scratch execution backends (PyTorch / TensorFlow analogs).
+``repro.tools``
+    Built-in and evaluated instrumentation tools.
+``repro.baselines``
+    Ad-hoc implementations (module hooks, source modification, session hooks)
+    the paper compares against.
+``repro.models`` / ``repro.data`` / ``repro.kernels``
+    Model zoos, synthetic datasets, and the simulated kernel runtime.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["amanda", "eager", "graph", "onnx", "tools", "kernels", "models",
+           "data", "baselines", "core", "backends", "train"]

@@ -1,0 +1,12 @@
+"""Backend drivers bridging Amanda core to the execution backends."""
+
+from . import eager_driver as _eager_driver  # noqa: F401  (registers factory)
+from . import graph_driver as _graph_driver  # noqa: F401  (registers factory)
+from . import onnx_driver as _onnx_driver  # noqa: F401  (registers factory)
+from .eager_driver import EagerDriver
+from .graph_driver import GraphDriver
+from .interface import BackendDriver, SymbolicInput
+from .onnx_driver import OnnxDriver
+
+__all__ = ["BackendDriver", "SymbolicInput", "EagerDriver", "GraphDriver",
+           "OnnxDriver"]

@@ -1,0 +1,363 @@
+"""Amanda driver for the eager backend (Sec. 5.3, "Eager Mode Driver").
+
+Implementation mirrors the paper's PyTorch driver:
+
+* **monkey-patching via registration snooping** — the driver subscribes to the
+  operator registry and patches every operator's ``call_override`` (and
+  ``backward_call_override``), including operators registered later;
+* **lazy analysis** — analysis routines run the first time an operator
+  executes; the recorded actions are cached per stable op id, and operators
+  whose cache entry is empty take a vanilla fast path on later iterations
+  (the action cache of Fig. 12);
+* **backward tracking** — each forward op's declared backward ops execute
+  through the driver, which supplies the forward context (operator mapping,
+  Fig. 5) and evaluates backward actions registered from forward analysis
+  routines;
+* **iteration boundaries** — backward completion and top-level module entry
+  reset occurrence counters so op IDs stay consistent across iterations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.actions import Action, ActionType, IPoint
+from ..core.context import OpContext
+from ..core.interceptor import Interceptor
+from ..core.manager import CachedOpRecord, register_driver_factory
+from ..eager import alloc, autograd, dispatch
+from ..eager.dispatch import OpCall, OpDef, Tensor, vanilla_apply
+from .interface import BackendDriver
+
+__all__ = ["EagerDriver"]
+
+
+class EagerDriver(BackendDriver):
+    namespace = "eager"
+    mode = "eager"
+
+    def __init__(self, manager) -> None:
+        super().__init__(manager)
+        self._interceptor = Interceptor()
+        self._busy = False
+        self._patched: set[str] = set()
+        self._last_top_module = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def attach(self) -> None:
+        dispatch.registry.add_registration_listener(self._patch_op, replay=True)
+        autograd.add_backward_completion_listener(self._on_backward_done)
+        dispatch.add_top_level_entry_listener(self._on_module_entry)
+
+    def detach(self) -> None:
+        dispatch.registry.remove_registration_listener(self._patch_op)
+        autograd.remove_backward_completion_listener(self._on_backward_done)
+        dispatch.remove_top_level_entry_listener(self._on_module_entry)
+        self._interceptor.restore_all()
+        self._patched.clear()
+        self._last_top_module = None
+
+    def _on_backward_done(self) -> None:
+        self.manager.new_iteration()
+        self._last_top_module = None
+
+    def _on_module_entry(self, module) -> None:
+        # Re-entering the *same* top-level module starts a new iteration
+        # (steady-state inference loops); a different module chained at top
+        # level is still part of the current iteration.
+        if module is getattr(self, "_last_top_module", None):
+            self.manager.new_iteration()
+        self._last_top_module = module
+
+    def _patch_op(self, opdef: OpDef) -> None:
+        if opdef.name in self._patched:
+            return
+        self._patched.add(opdef.name)
+        self._interceptor.patch(opdef, "call_override", self._instrumented_call)
+        self._interceptor.patch(opdef, "backward_call_override",
+                                self._instrumented_backward)
+
+    # -- forward path -------------------------------------------------------------
+    def _instrumented_call(self, opdef: OpDef, inputs: tuple, attrs: dict):
+        mgr = self.manager
+        if not mgr.active or self._busy:
+            return vanilla_apply(opdef, inputs, attrs)
+
+        t0 = time.perf_counter()
+        op_id = mgr.ids.assign(opdef.name)
+        cached = mgr.cache_lookup(op_id)
+        if cached is not None and cached.empty:
+            # vanilla fast path: this op instance was analyzed and left alone
+            mgr.record_framework_time(time.perf_counter() - t0)
+            return vanilla_apply(opdef, inputs, attrs)
+
+        op_call = OpCall(opdef, inputs, attrs, seq=dispatch.next_seq(),
+                         module=dispatch.current_module())
+        op_call.metadata["op_id"] = op_id
+
+        if cached is not None:
+            context = cached.context
+            forward_actions = list(cached.forward_actions)
+            backward_actions = list(cached.backward_actions)
+        else:
+            context = self._build_forward_context(op_call, op_id)
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
+            finally:
+                self._busy = False
+            forward_actions = list(context.actions)
+            backward_actions = []
+
+        replace = self._first(forward_actions, ActionType.REPLACE_OP)
+        before = self._of_type(forward_actions, ActionType.INSERT_BEFORE_OP)
+        after = self._of_type(forward_actions, ActionType.INSERT_AFTER_OP)
+
+        exec_inputs = self._apply_input_actions(before, inputs)
+        forward_override = None
+        if replace is not None:
+            kwargs = replace.kwargs
+            func = replace.func
+            forward_override = (lambda *arrays, **a: func(*arrays, **kwargs)) \
+                if kwargs else func
+        mgr.record_framework_time(time.perf_counter() - t0)
+
+        result = vanilla_apply(opdef, exec_inputs, attrs,
+                               forward_override=forward_override,
+                               op_call=op_call, autograd_inputs=inputs)
+
+        t1 = time.perf_counter()
+        outputs = op_call.outputs
+        context["_outputs"] = list(outputs)
+        if cached is None:
+            pre_count = len(context.actions)
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+            finally:
+                self._busy = False
+            new_actions = context.actions[pre_count:]
+            forward_actions += self._of_type(new_actions, ActionType.INSERT_AFTER_OP)
+            after = self._of_type(context.actions, ActionType.INSERT_AFTER_OP)
+            backward_actions = [a for a in context.actions if a.type.is_backward]
+
+            record = CachedOpRecord()
+            record.forward_actions = [a for a in context.actions
+                                      if not a.type.is_backward]
+            record.backward_actions = backward_actions
+            record.context = context
+            record.user_state = context.has_user_state
+            mgr.cache_store(op_id, record)
+
+        self._apply_output_actions(after, outputs)
+        if op_call.node is not None:
+            op_call.metadata["backward_actions"] = backward_actions
+            op_call.metadata["context"] = context
+        mgr.record_framework_time(time.perf_counter() - t1)
+        return result
+
+    #: estimated bookkeeping bytes per context/action object, fed to the
+    #: allocation tracker so the Fig. 13 breakdown sees framework memory
+    CONTEXT_BYTES = 512
+
+    def _build_forward_context(self, op_call: OpCall, op_id: int) -> OpContext:
+        alloc.tracker.allocate(self.CONTEXT_BYTES, scope="amanda")
+        context = OpContext()
+        context["_op"] = op_call
+        context["_namespace"] = self.namespace
+        context["_namespace_tags"] = self.namespace_tags
+        context["_is_forward"] = True
+        context["_op_id"] = op_id
+        context["_inputs"] = list(op_call.inputs)
+        context["_raw_type"] = op_call.opdef.name
+        context["_backward_names"] = [b.name for b in op_call.opdef.backward_defs]
+        context["_module"] = op_call.module
+        context["_attrs"] = dict(op_call.attrs)
+        # the eager backend's raw names double as the canonical namespace
+        context["type"] = op_call.opdef.name
+        return context
+
+    # -- backward path ---------------------------------------------------------
+    def _instrumented_backward(self, node, bdef, grad_outputs):
+        mgr = self.manager
+        if not mgr.active or self._busy:
+            return bdef.fn(node.ctx, grad_outputs)
+
+        t0 = time.perf_counter()
+        bwd_id = mgr.backward_ids.assign(bdef.name)
+        cached = mgr.cache_lookup(bwd_id)
+        op_call = node.op_call
+        inherited: list[Action] = []
+        if op_call is not None:
+            inherited = [a for a in op_call.metadata.get("backward_actions", ())
+                         if a.backward_op is None or a.backward_op == bdef.name]
+        if cached is not None and cached.empty and not inherited:
+            mgr.record_framework_time(time.perf_counter() - t0)
+            return bdef.fn(node.ctx, grad_outputs)
+
+        if cached is not None:
+            context = cached.context
+            own_actions = list(cached.forward_actions)  # backward-op actions
+        else:
+            context = self._build_backward_context(node, bdef, bwd_id,
+                                                   grad_outputs, op_call)
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.BEFORE_BACKWARD)
+            finally:
+                self._busy = False
+            own_actions = [a for a in context.actions
+                           if a.backward_op is None or a.backward_op == bdef.name]
+
+        actions = inherited + own_actions
+        before = self._of_type(actions, ActionType.INSERT_BEFORE_BACKWARD_OP)
+        after = self._of_type(actions, ActionType.INSERT_AFTER_BACKWARD_OP)
+        replace = self._first(actions, ActionType.REPLACE_BACKWARD_OP)
+
+        grad_outputs = self._apply_grad_actions(before, tuple(grad_outputs))
+        mgr.record_framework_time(time.perf_counter() - t0)
+
+        if replace is not None:
+            selected = self._select(grad_outputs, replace.tensor_indices)
+            grads = mgr.run_instrumentation(replace.func, tuple(selected),
+                                            replace.kwargs)
+            if not isinstance(grads, dict):
+                raise TypeError(
+                    "replace_backward_op routines must return a dict "
+                    "{forward_input_index: grad}")
+        else:
+            grads = bdef.fn(node.ctx, grad_outputs)
+
+        t1 = time.perf_counter()
+        if cached is None:
+            ordered_keys = sorted(grads)
+            context["_grad_inputs"] = [grads[k] for k in ordered_keys]
+            pre_count = len(context.actions)
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.AFTER_BACKWARD)
+            finally:
+                self._busy = False
+            own_after = [a for a in context.actions[pre_count:]
+                         if a.type == ActionType.INSERT_AFTER_BACKWARD_OP]
+            after += own_after
+
+            record = CachedOpRecord()
+            record.forward_actions = [
+                a for a in context.actions
+                if a.backward_op is None or a.backward_op == bdef.name]
+            record.context = context
+            mgr.cache_store(bwd_id, record)
+
+        if after:
+            ordered_keys = sorted(grads)
+            grad_list = [grads[k] for k in ordered_keys]
+            grad_list = list(self._apply_grad_actions(after, tuple(grad_list)))
+            grads = dict(zip(ordered_keys, grad_list))
+        mgr.record_framework_time(time.perf_counter() - t1)
+        return grads
+
+    def _build_backward_context(self, node, bdef, bwd_id, grad_outputs,
+                                op_call) -> OpContext:
+        alloc.tracker.allocate(self.CONTEXT_BYTES, scope="amanda")
+        context = OpContext()
+        forward_context = None
+        if op_call is not None:
+            forward_context = op_call.metadata.get("context")
+        if forward_context is not None:
+            for key, value in forward_context.items():
+                if key not in OpContext.RESERVED:
+                    context[key] = value
+            context["_op_id"] = forward_context.get("_op_id")
+        context["_op"] = op_call
+        context["_namespace"] = self.namespace
+        context["_namespace_tags"] = self.namespace_tags
+        context["_is_forward"] = False
+        context["_backward_op"] = bdef
+        context["_backward_name"] = bdef.name
+        context["_backward_op_id"] = bwd_id
+        context["_inputs"] = list(node.inputs)
+        context["_outputs"] = list(node.outputs)
+        context["_grad_outputs"] = list(grad_outputs)
+        context["_raw_type"] = node.opdef.name
+        context["type"] = node.opdef.name
+        context["backward_type"] = bdef.name
+        return context
+
+    # -- action evaluation --------------------------------------------------------
+    @staticmethod
+    def _of_type(actions, action_type) -> list[Action]:
+        return [a for a in actions if a.type == action_type]
+
+    @staticmethod
+    def _first(actions, action_type) -> Action | None:
+        for action in actions:
+            if action.type == action_type:
+                return action
+        return None
+
+    @staticmethod
+    def _select(values, indices):
+        if indices is None:
+            return list(values)
+        return [values[i] for i in indices]
+
+    def _apply_input_actions(self, actions: list[Action],
+                             inputs: tuple) -> tuple:
+        if not actions:
+            return inputs
+        current = list(inputs)
+        for action in actions:
+            indices = action.tensor_indices
+            if indices is None:
+                indices = tuple(range(len(current)))
+            arrays = tuple(
+                current[i].data if isinstance(current[i], Tensor) else current[i]
+                for i in indices)
+            result = self.manager.run_instrumentation(action.func, arrays,
+                                                      action.kwargs)
+            if result is None:
+                continue  # observation-only routine
+            replacements = result if isinstance(result, tuple) else (result,)
+            for i, value in zip(indices, replacements):
+                current[i] = Tensor(np.asarray(value))
+        return tuple(current)
+
+    def _apply_output_actions(self, actions: list[Action], outputs: tuple) -> None:
+        for action in actions:
+            indices = action.tensor_indices
+            if indices is None:
+                indices = tuple(range(len(outputs)))
+            arrays = tuple(outputs[i].data for i in indices)
+            result = self.manager.run_instrumentation(action.func, arrays,
+                                                      action.kwargs)
+            if result is None:
+                continue
+            replacements = result if isinstance(result, tuple) else (result,)
+            for i, value in zip(indices, replacements):
+                outputs[i].data = np.asarray(value)
+
+    def _apply_grad_actions(self, actions: list[Action],
+                            grads: tuple) -> tuple:
+        current = list(grads)
+        for action in actions:
+            indices = action.tensor_indices
+            if indices is None:
+                indices = tuple(range(len(current)))
+            indices = tuple(i for i in indices if i < len(current))
+            if not indices and action.tensor_indices != ():
+                continue
+            arrays = tuple(np.asarray(current[i]) for i in indices)
+            result = self.manager.run_instrumentation(action.func, arrays,
+                                                      action.kwargs)
+            if result is None:
+                continue
+            replacements = result if isinstance(result, tuple) else (result,)
+            for i, value in zip(indices, replacements):
+                current[i] = np.asarray(value)
+        return tuple(current)
+
+
+register_driver_factory(EagerDriver)

@@ -1,0 +1,298 @@
+"""Amanda driver for the graph backend (Sec. 5.3, "Graph Mode Driver").
+
+Mirrors the paper's TensorFlow driver:
+
+* **graph rewriting** — on submission, the driver copies the vanilla graph,
+  runs all analysis routines against the copy's operators (analysis happens
+  *statically*, at rewrite time), and realizes the recorded actions as
+  ``PyCall`` operator insertions/replacements;
+* **graph switching** — the vanilla graph instance the user holds is never
+  mutated; ``Session.run`` is intercepted and redirected to the instrumented
+  instance, with variable state shared through the common variable store;
+* **graph-level caching** — the instrumented graph is cached keyed by the
+  vanilla graph's fingerprint and the tool epoch; the expensive
+  rewrite/switch only reruns when the graph or the toolset changes (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.actions import Action, ActionType, IPoint
+from ..core.context import OpContext
+from ..core.ids import OpIdAssigner
+from ..core.interceptor import Interceptor
+from ..core.manager import register_driver_factory
+from ..eager import alloc
+from ..graph.core import Graph, Operation
+from ..graph.rewrite import GraphRewriter, copy_graph
+from ..graph.session import Session
+from .interface import BackendDriver, SymbolicInput
+
+__all__ = ["GraphDriver"]
+
+#: helper node types that are never themselves instrumented
+_SKIP_TYPES = {"PyCall", "NoOp"}
+
+
+class GraphDriver(BackendDriver):
+    namespace = "graph"
+    mode = "graph"
+
+    def __init__(self, manager) -> None:
+        super().__init__(manager)
+        self._interceptor = Interceptor()
+        #: (graph id, graph version, tool epoch) -> (instrumented graph,
+        #: tensor-name redirects pointing fetches at inserted wrapper outputs)
+        self._graph_cache: dict[tuple, tuple[Graph, dict]] = {}
+        self.rewrite_count = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def attach(self) -> None:
+        self._interceptor.patch(Session, "run_interceptor", self._intercept_run)
+
+    def detach(self) -> None:
+        self._interceptor.restore_all()
+        self._graph_cache.clear()
+
+    # -- run interception ----------------------------------------------------------
+    def _intercept_run(self, session: Session, fetches, feed, run_impl):
+        mgr = self.manager
+        if not mgr.active:
+            return run_impl(session.graph, fetches, feed)
+        key = session.graph.fingerprint() + (mgr.tool_epoch,)
+        entry = self._graph_cache.get(key) if mgr.cache_enabled else None
+        if entry is None:
+            entry = self._instrument_graph(session.graph)
+            if mgr.cache_enabled:
+                self._graph_cache[key] = entry
+        instrumented, redirects = entry
+        mapped = []
+        for tensor in fetches:
+            target = redirects.get(tensor.name)
+            if target is None:
+                target = instrumented.get_tensor(tensor.name)
+            mapped.append(target)
+        return run_impl(instrumented, mapped, feed)
+
+    # -- rewriting ---------------------------------------------------------------
+    def _instrument_graph(self, graph: Graph) -> tuple[Graph, dict]:
+        start = time.perf_counter()
+        self.rewrite_count += 1
+        mgr = self.manager
+        clone, _ = copy_graph(graph)
+        # account the instrumented graph instance + per-op contexts as
+        # framework bookkeeping memory (Fig. 13)
+        alloc.tracker.allocate(512 * max(1, len(clone.operations)),
+                               scope="amanda")
+        rewriter = GraphRewriter(clone)
+        redirects: dict = {}
+        # stable ids: deterministic assignment over the op stream
+        ids = OpIdAssigner()
+        snapshot = list(clone.operations)
+        backward_of: dict[str, list[Operation]] = {}
+        for op in snapshot:
+            if op.forward_op is not None:
+                backward_of.setdefault(op.forward_op.name, []).append(op)
+
+        tool_time_before = mgr.timers["tool"]
+        # Phase 1: run every analysis routine (analysis is static, at rewrite
+        # time — Fig. 4).  Actions are only realized afterwards so that a
+        # later op's analysis may still instrument an earlier op (subgraph
+        # rewriting).
+        analyzed: list[tuple[Operation, OpContext]] = []
+        backward_analyzed: list[tuple[Operation, OpContext, list]] = []
+        for op in snapshot:
+            if op.type in _SKIP_TYPES or op.forward_op is not None:
+                continue
+            op.op_id = ids.assign(op.type)
+            context = self._build_forward_context(clone, op)
+            mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
+            mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+            analyzed.append((op, context))
+
+            for bop in backward_of.get(op.name, ()):
+                bop.op_id = ids.assign(bop.type)
+                bcontext = self._build_backward_context(clone, op, bop, context)
+                mgr.run_analysis(bcontext, IPoint.BEFORE_BACKWARD)
+                mgr.run_analysis(bcontext, IPoint.AFTER_BACKWARD)
+                backward_analyzed.append((bop, bcontext, context.actions))
+
+        # Phase 2: realize the recorded actions as graph edits.
+        for op, context in analyzed:
+            forward_only = [a for a in context.actions if not a.type.is_backward]
+            self._apply_forward_actions(rewriter, op, forward_only, redirects)
+        for bop, bcontext, forward_actions in backward_analyzed:
+            applicable = [
+                a for a in forward_actions + bcontext.actions
+                if a.type.is_backward
+                and (a.backward_op is None
+                     or a.backward_op == bcontext.get("backward_type")
+                     or a.backward_op == bop.type)
+            ]
+            self._apply_backward_actions(rewriter, bop, applicable, redirects)
+
+        elapsed = time.perf_counter() - start
+        tool_time = mgr.timers["tool"] - tool_time_before
+        mgr.record_framework_time(max(0.0, elapsed - tool_time))
+        return clone, redirects
+
+    # -- contexts -------------------------------------------------------------------
+    def _symbolic_inputs(self, graph: Graph, op: Operation) -> list[SymbolicInput]:
+        wrapped = []
+        for edge in op.inputs:
+            value = None
+            if edge.op.type == "Variable":
+                value = graph.variables.read(edge.op.name)
+            elif edge.op.type == "Const":
+                value = edge.op.attrs["value"]
+            wrapped.append(SymbolicInput(edge, value))
+        return wrapped
+
+    def _build_forward_context(self, graph: Graph, op: Operation) -> OpContext:
+        context = OpContext()
+        context["_op"] = op
+        context["_namespace"] = self.namespace
+        context["_namespace_tags"] = self.namespace_tags
+        context["_is_forward"] = True
+        context["_op_id"] = op.op_id
+        context["_inputs"] = self._symbolic_inputs(graph, op)
+        context["_outputs"] = [SymbolicInput(t) for t in op.outputs]
+        context["_raw_type"] = op.type
+        context["_attrs"] = dict(
+            (k, v) for k, v in op.attrs.items() if k != "value")
+        context["type"] = op.type  # raw TF-style name; MappingTool normalizes
+        return context
+
+    def _build_backward_context(self, graph: Graph, op: Operation,
+                                bop: Operation,
+                                forward_context: OpContext) -> OpContext:
+        context = OpContext()
+        for key, value in forward_context.items():
+            if key not in OpContext.RESERVED:
+                context[key] = value
+        context["_op"] = op
+        context["_namespace"] = self.namespace
+        context["_namespace_tags"] = self.namespace_tags
+        context["_is_forward"] = False
+        context["_op_id"] = op.op_id
+        context["_backward_op"] = bop
+        context["_backward_name"] = bop.type
+        context["_backward_op_id"] = bop.op_id
+        context["_inputs"] = self._symbolic_inputs(graph, op)
+        context["_outputs"] = [SymbolicInput(t) for t in op.outputs]
+        context["_grad_outputs"] = [
+            SymbolicInput(t) for t in self._grad_input_edges(bop)]
+        context["_grad_inputs"] = [SymbolicInput(t) for t in bop.outputs]
+        context["_raw_type"] = op.type
+        context["type"] = op.type
+        context["backward_type"] = bop.type
+        return context
+
+    @staticmethod
+    def _grad_input_edges(bop: Operation):
+        """The backward op's inputs that carry incoming gradients."""
+        return [e for e in bop.inputs if e.op.forward_op is not None
+                or e.op.type == "OnesLike"]
+
+    # -- action realization -----------------------------------------------------------
+    def _wrap(self, action: Action, passthrough_count: int):
+        mgr = self.manager
+
+        def run(*arrays):
+            result = mgr.run_instrumentation(action.func, arrays, action.kwargs)
+            if result is None:  # observation-only routine
+                return arrays if passthrough_count > 1 else arrays[0]
+            return result
+
+        return run
+
+    def _apply_forward_actions(self, rewriter: GraphRewriter, op: Operation,
+                               actions: list[Action],
+                               redirects: dict[str, Operation]) -> None:
+        tags = {"alloc_scope": "tool"}
+        for action in actions:
+            if action.type == ActionType.INSERT_BEFORE_OP:
+                indices = action.tensor_indices
+                if indices is None:
+                    indices = tuple(range(len(op.inputs)))
+                elif not indices:
+                    # observation-only routine: trigger it off the first input
+                    indices = (0,) if op.inputs else ()
+                if not indices:
+                    continue
+                rewriter.insert_before_inputs(
+                    op, indices, self._wrap(action, len(indices)),
+                    name=f"PyCall_before_{op.name}", tags=tags)
+            elif action.type == ActionType.INSERT_AFTER_OP:
+                indices = action.tensor_indices
+                if indices is None:
+                    indices = tuple(range(len(op.outputs)))
+                elif not indices:
+                    indices = (0,)
+                node = rewriter.insert_after_outputs(
+                    op, indices, self._wrap(action, len(indices)),
+                    name=f"PyCall_after_{op.name}", tags=tags)
+                for position, index in enumerate(indices):
+                    redirects.setdefault(op.outputs[index].name,
+                                         node.outputs[position])
+            elif action.type == ActionType.REPLACE_OP:
+                node = rewriter.replace_op(
+                    op, self._make_replacement(action, len(op.outputs)),
+                    name=f"PyCall_replace_{op.name}", tags=tags)
+                for index, tensor in enumerate(op.outputs):
+                    redirects.setdefault(tensor.name, node.outputs[index])
+
+    def _make_replacement(self, action: Action, num_outputs: int):
+        mgr = self.manager
+
+        def run(*arrays):
+            result = mgr.run_instrumentation(action.func, arrays, action.kwargs)
+            if num_outputs == 1 and not isinstance(result, tuple):
+                return result
+            return result
+
+        return run
+
+    def _apply_backward_actions(self, rewriter: GraphRewriter, bop: Operation,
+                                actions: list[Action],
+                                redirects: dict[str, Operation]) -> None:
+        tags = {"alloc_scope": "tool"}
+        grad_edges = self._grad_input_edges(bop)
+        grad_positions = [bop.inputs.index(e) for e in grad_edges]
+        for action in actions:
+            if action.type == ActionType.INSERT_BEFORE_BACKWARD_OP:
+                indices = action.tensor_indices
+                if indices is None or not indices:
+                    indices = tuple(range(len(grad_positions)))
+                positions = tuple(grad_positions[i] for i in indices
+                                  if i < len(grad_positions))
+                if not positions:
+                    continue
+                rewriter.insert_before_inputs(
+                    bop, positions, self._wrap(action, len(positions)),
+                    name=f"PyCall_before_{bop.name}", tags=tags)
+            elif action.type == ActionType.INSERT_AFTER_BACKWARD_OP:
+                indices = action.tensor_indices
+                if indices is None or not indices:
+                    indices = tuple(range(len(bop.outputs)))
+                indices = tuple(i for i in indices if i < len(bop.outputs))
+                if not indices:
+                    continue
+                node = rewriter.insert_after_outputs(
+                    bop, indices, self._wrap(action, len(indices)),
+                    name=f"PyCall_after_{bop.name}", tags=tags)
+                for position, index in enumerate(indices):
+                    redirects.setdefault(bop.outputs[index].name,
+                                         node.outputs[position])
+            elif action.type == ActionType.REPLACE_BACKWARD_OP:
+                node = rewriter.replace_op(
+                    bop, self._make_replacement(action, len(bop.outputs)),
+                    name=f"PyCall_replace_{bop.name}", tags=tags)
+                for index, tensor in enumerate(bop.outputs):
+                    redirects.setdefault(tensor.name, node.outputs[index])
+
+
+register_driver_factory(GraphDriver)

@@ -1,0 +1,135 @@
+"""Amanda driver for the ONNX-style inference backend.
+
+Demonstrates the paper's extensibility claim (Sec. 5.1/7): supporting a new
+backend only requires a driver that adapts the backend's native callback
+mechanism to the backend interface.  Here the native mechanism is the
+session's per-node execution seam; the driver
+
+* assigns stable op ids per static node (the plan is fixed, so node identity
+  is the id key);
+* runs forward analysis routines lazily on a node's first execution and
+  caches the recorded actions (the same action cache as the eager driver);
+* evaluates insert-before/insert-after/replace actions around the node.
+
+The backend is inference-only, so backward instrumentation points simply
+never fire — tools that register backward routines still load and run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.actions import Action, ActionType, IPoint
+from ..core.context import OpContext
+from ..core.interceptor import Interceptor
+from ..core.manager import CachedOpRecord, register_driver_factory
+from ..onnx.model import Node
+from ..onnx.session import InferenceSession
+from .interface import BackendDriver, SymbolicInput
+
+__all__ = ["OnnxDriver"]
+
+
+class OnnxDriver(BackendDriver):
+    namespace = "onnx"
+    mode = "inference"
+
+    def __init__(self, manager) -> None:
+        super().__init__(manager)
+        self._interceptor = Interceptor()
+        #: node identity -> stable op id
+        self._node_ids: dict[int, int] = {}
+
+    def attach(self) -> None:
+        self._interceptor.patch(InferenceSession, "node_interceptor",
+                                self._intercept_node)
+
+    def detach(self) -> None:
+        self._interceptor.restore_all()
+        self._node_ids.clear()
+
+    # -- node interception ---------------------------------------------------
+    def _intercept_node(self, session: InferenceSession, node: Node,
+                        inputs: list[np.ndarray], run_node):
+        mgr = self.manager
+        if not mgr.active:
+            return run_node(node, inputs)
+
+        op_id = self._node_ids.get(id(node))
+        if op_id is None:
+            op_id = mgr.ids.assign(f"onnx/{node.name or node.op_type}")
+            self._node_ids[id(node)] = op_id
+
+        cached = mgr.cache_lookup(op_id)
+        if cached is not None and cached.empty:
+            return run_node(node, inputs)
+
+        if cached is not None:
+            actions = list(cached.forward_actions)
+            context = cached.context
+        else:
+            context = self._build_context(session, node, inputs, op_id)
+            mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
+            mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+            actions = [a for a in context.actions if not a.type.is_backward]
+            record = CachedOpRecord()
+            record.forward_actions = actions
+            record.context = context
+            record.user_state = context.has_user_state
+            mgr.cache_store(op_id, record)
+
+        before = [a for a in actions if a.type == ActionType.INSERT_BEFORE_OP]
+        after = [a for a in actions if a.type == ActionType.INSERT_AFTER_OP]
+        replace = next((a for a in actions
+                        if a.type == ActionType.REPLACE_OP), None)
+
+        inputs = self._apply(before, list(inputs))
+        if replace is not None:
+            result = mgr.run_instrumentation(replace.func, tuple(inputs),
+                                             replace.kwargs)
+            outputs = list(result) if isinstance(result, tuple) else [result]
+            outputs = [np.asarray(o) for o in outputs]
+        else:
+            outputs = run_node(node, inputs)
+        outputs = self._apply(after, list(outputs))
+        return outputs
+
+    def _build_context(self, session: InferenceSession, node: Node,
+                       inputs: list[np.ndarray], op_id: int) -> OpContext:
+        context = OpContext()
+        context["_op"] = node
+        context["_namespace"] = self.namespace
+        context["_namespace_tags"] = self.namespace_tags
+        context["_is_forward"] = True
+        context["_op_id"] = op_id
+        # initializers are statically known; fed/intermediate tensors are
+        # runtime values and exposed as such (inference analysis may use them)
+        wrapped = []
+        for name, value in zip(node.inputs, inputs):
+            static = session.model.initializers.get(name)
+            wrapped.append(SymbolicInput(name, static if static is not None
+                                         else np.asarray(value)))
+        context["_inputs"] = wrapped
+        context["_raw_type"] = node.op_type
+        context["_attrs"] = dict(node.attrs)
+        context["type"] = node.op_type  # raw ONNX name; MappingTool normalizes
+        return context
+
+    def _apply(self, actions: list[Action], values: list) -> list:
+        for action in actions:
+            indices = action.tensor_indices
+            if indices is None:
+                indices = tuple(range(len(values)))
+            indices = tuple(i for i in indices if i < len(values))
+            arrays = tuple(np.asarray(values[i]) for i in indices)
+            result = self.manager.run_instrumentation(action.func, arrays,
+                                                      action.kwargs)
+            if result is None:
+                continue
+            replacements = result if isinstance(result, tuple) else (result,)
+            for i, value in zip(indices, replacements):
+                values[i] = np.asarray(value)
+        return values
+
+
+register_driver_factory(OnnxDriver)

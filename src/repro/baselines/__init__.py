@@ -1,0 +1,15 @@
+"""Ad-hoc instrumentation baselines the paper compares Amanda against."""
+
+from .module_hook import (ModuleHookFlopsProfiler, ModuleHookPruner,
+                          ModuleHookTracer)
+from .optimizer_wrap import APEXStyleSparsity
+from .session_hook import TracingSessionHook, WeightPruningSessionHook
+from .source_mod import (ActivationPrunedResNet, ActivationPrunedResNetBlock,
+                         AttentionPrunedBert, ChannelPrunedLeNet)
+
+__all__ = [
+    "ModuleHookTracer", "ModuleHookFlopsProfiler", "ModuleHookPruner",
+    "APEXStyleSparsity", "TracingSessionHook", "WeightPruningSessionHook",
+    "ChannelPrunedLeNet", "ActivationPrunedResNet",
+    "ActivationPrunedResNetBlock", "AttentionPrunedBert",
+]

@@ -1,0 +1,160 @@
+"""Module-hook-based ad-hoc instrumentation (the PyTorch-hooks baseline).
+
+These implementations only see *module boundaries*: functional ops (residual
+adds, attention math, gradient accumulation) are invisible to them — the
+coverage deficit quantified in Fig. 9.  They are deliberately written in the
+style of real community code (iterate ``named_modules``, register hooks,
+clean up handles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eager.layers import Conv2d, Linear
+from ..eager.module import Module
+
+__all__ = ["ModuleHookTracer", "ModuleHookFlopsProfiler", "ModuleHookPruner"]
+
+#: module class name -> the canonical op types its forward issues, used to
+#: credit module hooks with the ops they *can* observe indirectly
+_LEAF_MODULES = ("Linear", "Conv2d", "BatchNorm2d", "BatchNorm1d", "LayerNorm",
+                 "Embedding", "ReLU", "GELU", "Tanh", "Sigmoid", "Softmax",
+                 "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "Dropout",
+                 "Flatten", "Identity")
+
+
+class ModuleHookTracer:
+    """Counts instrumentation points reachable through module hooks.
+
+    One forward hook fires per leaf-module call; one full-backward hook fires
+    per leaf module during backward — regardless of how many operators the
+    module actually launched.
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.forward_events: list[str] = []
+        self.backward_events: list[str] = []
+        self._handles = []
+
+    def attach(self) -> "ModuleHookTracer":
+        for name, module in self.model.named_modules():
+            if type(module).__name__ not in _LEAF_MODULES:
+                continue
+            self._handles.append(module.register_forward_hook(
+                self._make_forward_hook(name)))
+            self._handles.append(module.register_full_backward_hook(
+                self._make_backward_hook(name)))
+        return self
+
+    def detach(self) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def _make_forward_hook(self, name: str):
+        def hook(module, inputs, output):
+            self.forward_events.append(name)
+        return hook
+
+    def _make_backward_hook(self, name: str):
+        def hook(module, grad_inputs, grad_outputs):
+            self.backward_events.append(name)
+        return hook
+
+    def reset(self) -> None:
+        self.forward_events.clear()
+        self.backward_events.clear()
+
+
+class ModuleHookFlopsProfiler:
+    """FLOPs profiling through forward hooks (torchprofile-style).
+
+    Misses every functional op: residual adds, attention matmuls/softmax,
+    functional activations.
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.flops: dict[str, int] = {}
+        self._handles = []
+
+    def attach(self) -> "ModuleHookFlopsProfiler":
+        for name, module in self.model.named_modules():
+            if isinstance(module, (Linear, Conv2d)):
+                self._handles.append(module.register_forward_hook(
+                    self._make_hook(name, module)))
+        return self
+
+    def detach(self) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def _make_hook(self, name: str, module):
+        def hook(mod, inputs, output):
+            out_shape = output.shape
+            if isinstance(module, Conv2d):
+                cin_khkw = (module.in_channels * module.kernel_size[0]
+                            * module.kernel_size[1])
+                self.flops[name] = 2 * int(np.prod(out_shape)) * cin_khkw
+            else:
+                self.flops[name] = (2 * int(np.prod(out_shape))
+                                    * module.in_features)
+        return hook
+
+    def total_flops(self) -> int:
+        return sum(self.flops.values())
+
+
+class ModuleHookPruner:
+    """Static magnitude pruning via module traversal + hooks.
+
+    Masks parameters in place before each forward (pre-hook) and re-masks
+    after optimizer steps via a gradient hook on the parameters.  Only works
+    for models whose prunable computation lives in ``Linear``/``Conv2d``
+    modules — functional matmuls escape it.
+    """
+
+    def __init__(self, model: Module, sparsity: float = 0.5) -> None:
+        self.model = model
+        self.sparsity = sparsity
+        self.masks: dict[str, np.ndarray] = {}
+        self._handles = []
+
+    def attach(self) -> "ModuleHookPruner":
+        from ..tools.pruning import magnitude_mask
+        for name, module in self.model.named_modules():
+            if not isinstance(module, (Linear, Conv2d)):
+                continue
+            mask = magnitude_mask(module.weight.data, self.sparsity)
+            self.masks[name] = mask
+            module.weight.data *= mask
+            self._handles.append(module.register_forward_pre_hook(
+                self._make_pre_hook(module, mask)))
+            module.weight.register_hook(self._make_grad_hook(mask))
+        return self
+
+    def detach(self) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    @staticmethod
+    def _make_pre_hook(module, mask):
+        def hook(mod, inputs):
+            module.weight.data *= mask
+            return None
+        return hook
+
+    @staticmethod
+    def _make_grad_hook(mask):
+        def hook(grad):
+            return grad * mask
+        return hook
+
+    def overall_sparsity(self) -> float:
+        zeros = sum(int((m == 0).sum()) for m in self.masks.values())
+        total = sum(m.size for m in self.masks.values())
+        return zeros / total if total else 0.0

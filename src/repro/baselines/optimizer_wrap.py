@@ -1,0 +1,80 @@
+"""Optimizer-wrapping ad-hoc baseline (APEX-style, Fig. 1 / Tbl. 4).
+
+NVIDIA APEX's automatic sparsity masks weights/gradients by wrapping the
+optimizer: masks are computed once from module parameters, applied to every
+parameter before each ``step`` and to the gradients.  Like APEX it only
+supports networks built from the module API — parameters used by functional
+ops would be invisible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eager.layers import Conv2d, Linear
+from ..eager.module import Module
+from ..eager.optim import Optimizer
+from ..tools.pruning import n_m_mask
+
+__all__ = ["APEXStyleSparsity"]
+
+
+class APEXStyleSparsity:
+    """n:m (default 2:4) structured sparsity by optimizer wrapping."""
+
+    def __init__(self, model: Module, optimizer: Optimizer, n: int = 2,
+                 m: int = 4) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.n, self.m = n, m
+        self.masks: dict[int, np.ndarray] = {}
+        self._original_step = None
+
+    def init_masks(self) -> None:
+        """Compute masks from the module tree (module-API-only, like APEX)."""
+        for name, module in self.model.named_modules():
+            if isinstance(module, Linear):
+                weight = module.weight
+                self.masks[id(weight)] = n_m_mask(weight.data, self.n, self.m)
+            elif isinstance(module, Conv2d):
+                weight = module.weight
+                flat = weight.data.reshape(weight.data.shape[0], -1)
+                mask = n_m_mask(flat, self.n, self.m).reshape(weight.data.shape)
+                self.masks[id(weight)] = mask
+        self._apply_masks()
+
+    def wrap(self) -> None:
+        """Monkey-patch ``optimizer.step`` to re-mask after every update."""
+        if self._original_step is not None:
+            return
+        self._original_step = self.optimizer.step
+
+        def masked_step():
+            self._mask_gradients()
+            self._original_step()
+            self._apply_masks()
+
+        self.optimizer.step = masked_step
+
+    def unwrap(self) -> None:
+        if self._original_step is not None:
+            # drop the instance attribute so the class method shows through
+            del self.optimizer.__dict__["step"]
+            self._original_step = None
+
+    def _apply_masks(self) -> None:
+        for param in self.optimizer.params:
+            mask = self.masks.get(id(param))
+            if mask is not None:
+                param.data *= mask
+
+    def _mask_gradients(self) -> None:
+        for param in self.optimizer.params:
+            mask = self.masks.get(id(param))
+            if mask is not None and param.grad is not None:
+                param.grad = param.grad * mask
+
+    def overall_sparsity(self) -> float:
+        zeros = sum(int((m == 0).sum()) for m in self.masks.values())
+        total = sum(m.size for m in self.masks.values())
+        return zeros / total if total else 0.0

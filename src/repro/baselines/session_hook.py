@@ -1,0 +1,87 @@
+"""Session-hook / graph-mode ad-hoc baselines (Tbl. 3/4, Sec. 7).
+
+TensorFlow-1 users instrument training through ``SessionRunHook``: extra
+fetches can be attached before a run and observed after, and variables can be
+mutated between runs.  Both capabilities (and their limits — no graph
+rewriting, so no operator insertion) are reproduced here against the graph
+backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.core import Graph
+from ..graph.session import RunContext, SessionRunHook
+from ..tools.pruning import magnitude_mask, tile_mask
+
+__all__ = ["TracingSessionHook", "WeightPruningSessionHook"]
+
+
+class TracingSessionHook(SessionRunHook):
+    """Traces op outputs by attaching extra fetches (TF session-hook tracing).
+
+    Limitation mirrored from TF: only *existing* graph tensors can be fetched;
+    no operators can be inserted, and the graph seals after first submission.
+    """
+
+    def __init__(self, tensors) -> None:
+        self.tensors = list(tensors)
+        self.traces: list[dict[str, np.ndarray]] = []
+
+    def before_run(self, run_context: RunContext):
+        return self.tensors
+
+    def after_run(self, run_context: RunContext, run_values) -> None:
+        self.traces.append(dict(run_context.extra_results))
+
+
+class WeightPruningSessionHook(SessionRunHook):
+    """Static weight pruning by mutating variables around each session run.
+
+    The classic TF-1 recipe (as in the tile-wise pruning project of Tbl. 4):
+    compute masks from the variable store, re-apply them after every training
+    step so the optimizer update cannot resurrect pruned weights.
+    """
+
+    def __init__(self, graph: Graph, sparsity: float = 0.5,
+                 tile_shape: tuple[int, int] | None = None,
+                 variable_filter=None) -> None:
+        self.graph = graph
+        self.sparsity = sparsity
+        self.tile_shape = tile_shape
+        self.variable_filter = variable_filter or (
+            lambda name: name.endswith("_w") or "conv_w" in name or "fc_w" in name)
+        self.masks: dict[str, np.ndarray] = {}
+
+    def initialize_masks(self) -> None:
+        for name in self.graph.variables.names():
+            if not self.variable_filter(name):
+                continue
+            value = self.graph.variables.read(name)
+            if value.ndim < 2:
+                continue
+            if self.tile_shape is not None:
+                mask = tile_mask(value, self.tile_shape, self.sparsity)
+            else:
+                mask = magnitude_mask(value, self.sparsity)
+            self.masks[name] = mask
+        self._apply()
+
+    def before_run(self, run_context: RunContext):
+        if not self.masks:
+            self.initialize_masks()
+        self._apply()
+        return None
+
+    def after_run(self, run_context: RunContext, run_values) -> None:
+        self._apply()
+
+    def _apply(self) -> None:
+        for name, mask in self.masks.items():
+            self.graph.variables.update_in_place(name, lambda v, m=mask: v * m)
+
+    def overall_sparsity(self) -> float:
+        zeros = sum(int((m == 0).sum()) for m in self.masks.values())
+        total = sum(m.size for m in self.masks.values())
+        return zeros / total if total else 0.0

@@ -1,0 +1,17 @@
+"""Amanda core: the backend-independent instrumentation layer (Fig. 3)."""
+
+from .actions import Action, ActionType, IPoint
+from .context import OpContext
+from .ids import LinearCongruentialGenerator, OpIdAssigner
+from .interceptor import Interceptor
+from .manager import (InstrumentationManager, allow_instrumented_ad, apply,
+                      cache_disabled, cache_enabled, disabled, enabled,
+                      manager, new_iteration)
+from .tool import Registration, Tool
+
+__all__ = [
+    "Action", "ActionType", "IPoint", "OpContext", "Tool", "Registration",
+    "Interceptor", "LinearCongruentialGenerator", "OpIdAssigner",
+    "InstrumentationManager", "manager", "apply", "disabled", "enabled",
+    "cache_disabled", "cache_enabled", "allow_instrumented_ad", "new_iteration",
+]

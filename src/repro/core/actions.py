@@ -1,0 +1,65 @@
+"""Instrumentation actions — the currency between Amanda core and drivers.
+
+An :class:`Action` is one recorded modification of the target DNN (Fig. 7):
+its :class:`ActionType` matches the six instrumentation APIs of Lst. 3, its
+``func`` is the user's instrumentation routine, and ``tensor_indices`` selects
+which computation-state tensors the routine consumes/produces.  Analysis
+routines *record* actions; drivers *evaluate* them during subsequent
+executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ActionType", "Action", "IPoint"]
+
+
+class ActionType(enum.Enum):
+    INSERT_BEFORE_OP = "insert_before_op"
+    INSERT_AFTER_OP = "insert_after_op"
+    INSERT_BEFORE_BACKWARD_OP = "insert_before_backward_op"
+    INSERT_AFTER_BACKWARD_OP = "insert_after_backward_op"
+    REPLACE_OP = "replace_op"
+    REPLACE_BACKWARD_OP = "replace_backward_op"
+
+    @property
+    def is_backward(self) -> bool:
+        return self in (ActionType.INSERT_BEFORE_BACKWARD_OP,
+                        ActionType.INSERT_AFTER_BACKWARD_OP,
+                        ActionType.REPLACE_BACKWARD_OP)
+
+
+class IPoint(enum.Enum):
+    """Instrumentation points, the dispatching key of trigger_callback."""
+
+    BEFORE_FORWARD = "before_forward_op"
+    AFTER_FORWARD = "after_forward_op"
+    BEFORE_BACKWARD = "before_backward_op"
+    AFTER_BACKWARD = "after_backward_op"
+
+
+@dataclass
+class Action:
+    """One recorded instrumentation of a specific operator."""
+
+    type: ActionType
+    func: Callable
+    #: indices of the tensors the routine consumes (inputs / outputs /
+    #: grad_outputs / grad_inputs depending on the action type);
+    #: None selects all tensors, an empty tuple selects none (observation
+    #: routines that only need to be triggered)
+    tensor_indices: tuple[int, ...] | None = None
+    #: extra keyword parameters injected into the routine at evaluation time
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: name of the tool that recorded the action (diagnostics / breakdowns)
+    tool: str | None = None
+    #: for backward actions recorded from a *backward* analysis routine:
+    #: restricts the action to that backward op; None applies to all
+    backward_op: str | None = None
+
+    def __repr__(self) -> str:
+        return (f"Action({self.type.value}, func={getattr(self.func, '__name__', self.func)!r}, "
+                f"indices={self.tensor_indices})")

@@ -1,0 +1,147 @@
+"""OpContext: the instrumentation context handed to analysis routines.
+
+``OpContext`` *is a dict* (Lst. 4): mapping tools and analysis routines store
+normalized state in it (``context["type"]``, ``context["mask"]``, ...).  On
+top of the dict it offers
+
+* **inspection APIs** (Lst. 4) — operator metadata, input/output tensors, the
+  mapped backward operator and its gradient tensors, and the stable op id;
+* **instrumentation APIs** (Lst. 3) — the six action-recording methods.
+
+The raw, backend-specific payload lives under reserved keys (``_op`` etc.);
+mapping tools translate it into the common namespace the user tool consumes
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .actions import Action, ActionType
+
+__all__ = ["OpContext"]
+
+
+class OpContext(dict):
+    """Instrumentation context for one operator (forward or backward)."""
+
+    RESERVED = ("_op", "_backend", "_inputs", "_outputs", "_grad_outputs",
+                "_grad_inputs", "_op_id", "_backward_op", "_backward_op_id",
+                "_is_forward", "_namespace", "_namespace_tags", "_module")
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.actions: list[Action] = []
+        #: set by the manager while a specific tool's routine runs
+        self._current_tool: str | None = None
+        #: True while a context-transform tool (mapping/tracing) is writing;
+        #: such writes do not count as user state
+        self._transform_write = True
+        #: set when a user tool stored state (e.g. a pruning mask) — the
+        #: driver must then keep providing this context to backward ops
+        self.has_user_state = False
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if not self._transform_write and key not in self.RESERVED:
+            self.has_user_state = True
+        super().__setitem__(key, value)
+
+    # -- inspection APIs (Lst. 4) --------------------------------------------
+    def get_op(self):
+        """The raw backend operator object/record."""
+        return self.get("_op")
+
+    def get_op_id(self) -> int | None:
+        return self.get("_op_id")
+
+    def get_inputs(self) -> list:
+        return self.get("_inputs", [])
+
+    def get_outputs(self) -> list:
+        return self.get("_outputs", [])
+
+    def get_backward_op(self):
+        return self.get("_backward_op")
+
+    def get_backward_op_id(self) -> int | None:
+        return self.get("_backward_op_id")
+
+    def get_grad_outputs(self) -> list:
+        return self.get("_grad_outputs", [])
+
+    def get_grad_inputs(self) -> list:
+        return self.get("_grad_inputs", [])
+
+    def is_forward(self) -> bool:
+        return self.get("_is_forward", True)
+
+    @property
+    def namespace(self) -> str | None:
+        """Backend namespace name, e.g. ``"eager"`` or ``"graph"``."""
+        return self.get("_namespace")
+
+    @property
+    def namespace_tags(self) -> str | None:
+        """Full namespace tag group ``"name/version/mode"`` (Sec. 5.2)."""
+        return self.get("_namespace_tags")
+
+    def get_module(self):
+        """The module that issued this operator, if any (eager mode)."""
+        return self.get("_module")
+
+    # -- instrumentation APIs (Lst. 3) ----------------------------------------
+    def _record(self, action_type: ActionType, func: Callable,
+                indices, kwargs: dict) -> Action:
+        action = Action(
+            type=action_type,
+            func=func,
+            tensor_indices=None if indices is None else tuple(indices),
+            kwargs=dict(kwargs),
+            tool=self._current_tool,
+            backward_op=None if self.is_forward() else self.get("backward_type",
+                                                                self.get("_backward_name")),
+        )
+        self.actions.append(action)
+        return action
+
+    def insert_before_op(self, func: Callable, inputs=None, **kwargs) -> Action:
+        """Run ``func`` on the selected input tensors before the op executes.
+
+        ``func(*selected_inputs, **kwargs)`` returns replacement values for
+        those inputs (a single value when one index is selected).
+        """
+        return self._record(ActionType.INSERT_BEFORE_OP, func, inputs, kwargs)
+
+    def insert_after_op(self, func: Callable, outputs=None, **kwargs) -> Action:
+        """Run ``func`` on the selected output tensors after the op executes."""
+        return self._record(ActionType.INSERT_AFTER_OP, func, outputs, kwargs)
+
+    def insert_before_backward_op(self, func: Callable, grad_outputs=None,
+                                  **kwargs) -> Action:
+        """Run ``func`` on incoming gradients before the backward op."""
+        return self._record(ActionType.INSERT_BEFORE_BACKWARD_OP, func,
+                            grad_outputs, kwargs)
+
+    def insert_after_backward_op(self, func: Callable, grad_inputs=None,
+                                 **kwargs) -> Action:
+        """Run ``func`` on produced gradients after the backward op."""
+        return self._record(ActionType.INSERT_AFTER_BACKWARD_OP, func,
+                            grad_inputs, kwargs)
+
+    def replace_op(self, func: Callable, inputs=None, **kwargs) -> Action:
+        """Replace the op's computation with ``func(*input_arrays, **kwargs)``.
+
+        Replacing with an identity yields operator-removal semantics.
+        """
+        return self._record(ActionType.REPLACE_OP, func, inputs, kwargs)
+
+    def replace_backward_op(self, func: Callable, grad_outputs=None,
+                            **kwargs) -> Action:
+        """Replace the backward op's computation."""
+        return self._record(ActionType.REPLACE_BACKWARD_OP, func,
+                            grad_outputs, kwargs)
+
+    def __repr__(self) -> str:
+        op_type = self.get("type", self.get("_raw_type", "?"))
+        kind = "forward" if self.is_forward() else "backward"
+        return f"OpContext({kind} {op_type!r}, actions={len(self.actions)})"

@@ -1,0 +1,66 @@
+"""Consistent operator identity via a linear congruential generator (Sec. 5.2).
+
+Amanda assigns each executed operator a stable ID so that analysis results and
+instrumentation actions cached in one iteration can be reused in later
+iterations ("consistent attribute ID ... with linear congruential generator
+(LCG) to track their execution between iterations").
+
+We key an operator by ``(op name, occurrence index within the iteration)`` —
+for a static model this pair is identical across iterations — and map the pair
+to an ID drawn from an LCG stream, like a program counter value for
+instructions.  Occurrence counters reset at iteration boundaries (backward
+completion, top-level module entry, or an explicit ``new_iteration`` call).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LinearCongruentialGenerator", "OpIdAssigner"]
+
+
+class LinearCongruentialGenerator:
+    """The classic 32-bit Numerical-Recipes LCG."""
+
+    MULTIPLIER = 1664525
+    INCREMENT = 1013904223
+    MODULUS = 2 ** 32
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._state = seed % self.MODULUS
+
+    def next(self) -> int:
+        self._state = (self.MULTIPLIER * self._state + self.INCREMENT) % self.MODULUS
+        return self._state
+
+
+class OpIdAssigner:
+    """Stable (op name, occurrence) -> LCG id mapping with iteration resets."""
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._lcg = LinearCongruentialGenerator(seed)
+        self._ids: dict[tuple[str, int], int] = {}
+        self._occurrences: dict[str, int] = {}
+        self.iteration = 0
+
+    def assign(self, name: str) -> int:
+        occurrence = self._occurrences.get(name, 0)
+        self._occurrences[name] = occurrence + 1
+        key = (name, occurrence)
+        op_id = self._ids.get(key)
+        if op_id is None:
+            op_id = self._lcg.next()
+            self._ids[key] = op_id
+        return op_id
+
+    def peek(self, name: str, occurrence: int) -> int | None:
+        return self._ids.get((name, occurrence))
+
+    def new_iteration(self) -> None:
+        """Reset occurrence counters; previously assigned IDs stay stable."""
+        self._occurrences.clear()
+        self.iteration += 1
+
+    def reset(self) -> None:
+        """Full reset, forgetting all assigned IDs (toolset changed)."""
+        self._ids.clear()
+        self._occurrences.clear()
+        self.iteration = 0

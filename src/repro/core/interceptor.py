@@ -1,0 +1,49 @@
+"""Lightweight function interceptor (Sec. 5.2, "addressing the language
+disparity").
+
+The paper's interceptor dynamically replaces specific Python (or native
+binding) functions without scanning the heap for references, and restores them
+afterwards.  Here every replacement site is a named attribute on an object or
+module; the interceptor records the original value so a driver's ``detach``
+restores the backend to its vanilla state exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Interceptor"]
+
+_MISSING = object()
+
+
+class Interceptor:
+    """Tracks attribute patches so they can be reverted in LIFO order."""
+
+    def __init__(self) -> None:
+        self._patches: list[tuple[Any, str, Any]] = []
+
+    def patch(self, target: Any, attribute: str, replacement: Any) -> None:
+        """Replace ``target.attribute`` with ``replacement`` (restorable)."""
+        original = getattr(target, attribute, _MISSING)
+        self._patches.append((target, attribute, original))
+        setattr(target, attribute, replacement)
+
+    def restore_all(self) -> None:
+        while self._patches:
+            target, attribute, original = self._patches.pop()
+            if original is _MISSING:
+                delattr(target, attribute)
+            else:
+                setattr(target, attribute, original)
+
+    @property
+    def active_patch_count(self) -> int:
+        return len(self._patches)
+
+    def __enter__(self) -> "Interceptor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.restore_all()
+        return False

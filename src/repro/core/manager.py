@@ -1,0 +1,300 @@
+"""Amanda core: tool management, callback management, caching, control APIs.
+
+The manager is the backend-independent layer (Fig. 3).  It
+
+* resolves the tool dependency graph (topological order, cycle detection) so
+  mapping/transformation tools run before the tools that consume them;
+* triggers analysis routines at the four instrumentation points and records
+  the actions they produce;
+* owns the **action cache**: per stable op-id, the actions recorded the first
+  time an operator is analyzed are replayed on later executions without
+  re-running analysis routines (Sec. 5.2/5.3, evaluated in Fig. 12);
+* evaluates instrumentation routines with AD isolation (instrumented code does
+  not alter the backward graph unless explicitly enabled) and tool-scoped
+  memory accounting;
+* exposes the control APIs of Lst. 5 (``apply``/``disabled``/``enabled``/
+  ``cache_disabled``/``cache_enabled``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+from ..eager import alloc
+from ..eager.dispatch import enable_grad, no_grad
+from .actions import Action, IPoint
+from .context import OpContext
+from .ids import OpIdAssigner
+from .tool import Tool
+
+__all__ = ["InstrumentationManager", "manager", "apply", "disabled", "enabled",
+           "cache_disabled", "cache_enabled", "allow_instrumented_ad",
+           "new_iteration", "register_driver_factory"]
+
+
+class CachedOpRecord:
+    """Per-op-id cache entry: recorded actions plus the analyzed context."""
+
+    __slots__ = ("forward_actions", "backward_actions", "context", "user_state")
+
+    def __init__(self) -> None:
+        self.forward_actions: list[Action] = []
+        self.backward_actions: list[Action] = []
+        self.context: OpContext | None = None
+        #: True when analysis stored user keys in the context (e.g. a pruning
+        #: mask) that backward contexts must still see — disables the vanilla
+        #: fast path even with no forward actions
+        self.user_state = False
+
+    @property
+    def empty(self) -> bool:
+        return (not self.forward_actions and not self.backward_actions
+                and not self.user_state)
+
+
+_driver_factories: list[Callable[["InstrumentationManager"], object]] = []
+
+
+def register_driver_factory(factory) -> None:
+    """Backends register a driver factory at import time (Fig. 7)."""
+    _driver_factories.append(factory)
+
+
+class InstrumentationManager:
+    """Singleton coordinating tools, drivers, ids and caches."""
+
+    def __init__(self) -> None:
+        self.tools: list[Tool] = []
+        self.enabled = True
+        self.cache_enabled = True
+        self.instrumented_ad = False
+        self.ids = OpIdAssigner()
+        self.backward_ids = OpIdAssigner(seed=0xB5EED)
+        #: eager-mode action cache: op_id -> CachedOpRecord
+        self.action_cache: dict[int, CachedOpRecord] = {}
+        #: bumped whenever the active toolset changes; drivers key their own
+        #: caches (e.g. instrumented graphs) by this epoch
+        self.tool_epoch = 0
+        self._drivers: list = []
+        self._depth = 0
+        # Fig. 11 breakdown accounting
+        self.timers = {"framework": 0.0, "tool": 0.0}
+
+    # -- tool management ------------------------------------------------------
+    @staticmethod
+    def resolve_tools(tools: tuple[Tool, ...]) -> list[Tool]:
+        """Dependency-closure topological order; raises on cycles."""
+        order: list[Tool] = []
+        state: dict[int, str] = {}
+
+        def visit(tool: Tool, chain: list[Tool]) -> None:
+            mark = state.get(id(tool))
+            if mark == "done":
+                return
+            if mark == "visiting":
+                cycle = " -> ".join(t.name for t in chain + [tool])
+                raise ValueError(f"instrumentation tool dependency cycle: {cycle}")
+            state[id(tool)] = "visiting"
+            for dependency in tool.dependencies:
+                visit(dependency, chain + [tool])
+            state[id(tool)] = "done"
+            order.append(tool)
+
+        for tool in tools:
+            visit(tool, [])
+        return order
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and bool(self.tools)
+
+    # -- lifecycle -------------------------------------------------------------
+    def activate(self, tools: tuple[Tool, ...]) -> None:
+        previous = list(self.tools)
+        if self._depth == 0:
+            self.tools = self.resolve_tools(tools)
+        else:
+            self.tools = self.tools + [
+                t for t in self.resolve_tools(tools) if t not in self.tools]
+        self._depth += 1
+        self._invalidate()
+        if not self._drivers:
+            for factory in _driver_factories:
+                driver = factory(self)
+                driver.attach()
+                self._drivers.append(driver)
+        for tool in self.tools:
+            if tool not in previous:
+                tool.on_apply()
+
+    def deactivate(self) -> None:
+        self._depth -= 1
+        if self._depth <= 0:
+            self._depth = 0
+            removed = list(self.tools)
+            self.tools = []
+            for driver in self._drivers:
+                driver.detach()
+            self._drivers = []
+            for tool in removed:
+                tool.on_remove()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self.tool_epoch += 1
+        self.action_cache.clear()
+        self.ids.reset()
+        self.backward_ids.reset()
+
+    def new_iteration(self) -> None:
+        self.ids.new_iteration()
+        self.backward_ids.new_iteration()
+        for tool in self.tools:
+            for callback in tool.iteration_callbacks:
+                callback(self.ids.iteration)
+
+    # -- analysis-routine triggering -------------------------------------------
+    def run_analysis(self, context: OpContext, i_point: IPoint) -> None:
+        """Trigger the analysis routines registered at ``i_point``.
+
+        Tools run in dependency order; each may transform the context for the
+        tools after it (context transformation, Fig. 6).
+        """
+        backward = i_point in (IPoint.BEFORE_BACKWARD, IPoint.AFTER_BACKWARD)
+        require_outputs = i_point in (IPoint.AFTER_FORWARD, IPoint.AFTER_BACKWARD)
+        start = time.perf_counter()
+        for tool in self.tools:
+            registrations = tool.registrations_at(backward, require_outputs)
+            if not registrations:
+                continue
+            context._current_tool = tool.name
+            context._transform_write = tool.is_context_transform
+            for registration in registrations:
+                t0 = time.perf_counter()
+                registration.callback(context)
+                self.timers["tool"] += time.perf_counter() - t0
+        context._current_tool = None
+        context._transform_write = True
+        total = time.perf_counter() - start
+        self.timers["framework"] += max(0.0, total - 0.0)
+
+    # -- instrumentation-routine evaluation --------------------------------------
+    def run_instrumentation(self, func: Callable, args: tuple, kwargs: dict):
+        """Evaluate one instrumentation routine with AD/memory isolation."""
+        t0 = time.perf_counter()
+        guard = enable_grad() if self.instrumented_ad else no_grad()
+        with guard, alloc.scope("tool"):
+            result = func(*args, **kwargs)
+        self.timers["tool"] += time.perf_counter() - t0
+        return result
+
+    def record_framework_time(self, seconds: float) -> None:
+        self.timers["framework"] += seconds
+
+    def reset_timers(self) -> None:
+        self.timers = {"framework": 0.0, "tool": 0.0}
+
+    # -- cache -------------------------------------------------------------------
+    def cache_lookup(self, op_id: int) -> CachedOpRecord | None:
+        if not self.cache_enabled:
+            return None
+        return self.action_cache.get(op_id)
+
+    def cache_store(self, op_id: int, record: CachedOpRecord) -> None:
+        if self.cache_enabled:
+            self.action_cache[op_id] = record
+
+    def cache_append(self, op_id: int, action: Action) -> bool:
+        """Late-register an action on an already-cached operator.
+
+        Used by tools (e.g. subgraph rewriting) whose analysis of a *later*
+        operator retroactively instruments an earlier one; in eager mode the
+        action takes effect from the next execution of that operator.
+        """
+        record = self.action_cache.get(op_id)
+        if record is None:
+            return False
+        if action.type.is_backward:
+            record.backward_actions.append(action)
+        else:
+            record.forward_actions.append(action)
+        return True
+
+
+#: process-global manager instance
+manager = InstrumentationManager()
+
+
+# ---------------------------------------------------------------------------
+# control APIs (Lst. 5)
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def apply(*tools: Tool):
+    """Apply instrumentation tools to all DNN execution inside the block."""
+    manager.activate(tools)
+    try:
+        yield manager
+    finally:
+        manager.deactivate()
+
+
+@contextmanager
+def disabled():
+    """Temporarily disable instrumentation inside an ``apply`` scope."""
+    previous = manager.enabled
+    manager.enabled = False
+    try:
+        yield
+    finally:
+        manager.enabled = previous
+
+
+@contextmanager
+def enabled():
+    previous = manager.enabled
+    manager.enabled = True
+    try:
+        yield
+    finally:
+        manager.enabled = previous
+
+
+@contextmanager
+def cache_disabled():
+    """Disable the action cache (every execution re-runs analysis routines)."""
+    previous = manager.cache_enabled
+    manager.cache_enabled = False
+    manager.action_cache.clear()
+    try:
+        yield
+    finally:
+        manager.cache_enabled = previous
+
+
+@contextmanager
+def cache_enabled():
+    previous = manager.cache_enabled
+    manager.cache_enabled = True
+    try:
+        yield
+    finally:
+        manager.cache_enabled = previous
+
+
+@contextmanager
+def allow_instrumented_ad():
+    """Let inserted instrumentation routines participate in backward (expert)."""
+    previous = manager.instrumented_ad
+    manager.instrumented_ad = True
+    try:
+        yield
+    finally:
+        manager.instrumented_ad = previous
+
+
+def new_iteration() -> None:
+    """Explicitly mark an iteration boundary (resets occurrence counters)."""
+    manager.new_iteration()

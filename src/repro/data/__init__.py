@@ -1,0 +1,7 @@
+"""Synthetic datasets (ImageNet/SQuAD stand-ins — see DESIGN.md substitutions)."""
+
+from .synthetic import (ClassificationDataset, QADataset, batches,
+                        synthetic_images, synthetic_tokens)
+
+__all__ = ["ClassificationDataset", "QADataset", "batches",
+           "synthetic_images", "synthetic_tokens"]

@@ -1,0 +1,106 @@
+"""Synthetic learnable datasets.
+
+Tbl. 4 uses accuracy only to check that an Amanda tool is *semantically
+equivalent* to the ad-hoc implementation it replaces; equivalence does not
+depend on the dataset, so we substitute small synthetic tasks that tiny
+models can actually learn:
+
+* :class:`ClassificationDataset` — images whose class is encoded as a
+  localized spatial pattern plus noise (the ImageNet stand-in);
+* :class:`QADataset` — token sequences where the answer position is marked by
+  a trigger token (the SQuAD-v2 stand-in for BERT-style models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClassificationDataset", "QADataset", "batches",
+           "synthetic_images", "synthetic_tokens"]
+
+
+def synthetic_images(n: int, channels: int = 3, size: int = 16,
+                     num_classes: int = 4, noise: float = 0.3,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Images (N, C, H, W) with a class-dependent quadrant pattern."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, n)
+    images = rng.standard_normal((n, channels, size, size)) * noise
+    half = size // 2
+    quadrants = [(0, 0), (0, half), (half, 0), (half, half)]
+    for i, label in enumerate(labels):
+        r, c = quadrants[label % len(quadrants)]
+        strength = 1.0 + 0.5 * (label // len(quadrants))
+        images[i, :, r:r + half, c:c + half] += strength
+    return images, labels
+
+
+def synthetic_tokens(n: int, seq_len: int = 16, vocab: int = 32,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Token sequences; the label is the position of the trigger token 1."""
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(2, vocab, (n, seq_len))
+    positions = rng.integers(0, seq_len, n)
+    tokens[np.arange(n), positions] = 1
+    return tokens, positions
+
+
+@dataclass
+class ClassificationDataset:
+    """Train/test split of the synthetic image task."""
+
+    num_classes: int = 4
+    channels: int = 3
+    size: int = 16
+    train_n: int = 128
+    test_n: int = 64
+    noise: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.train_x, self.train_y = synthetic_images(
+            self.train_n, self.channels, self.size, self.num_classes,
+            noise=self.noise, seed=self.seed)
+        self.test_x, self.test_y = synthetic_images(
+            self.test_n, self.channels, self.size, self.num_classes,
+            noise=self.noise, seed=self.seed + 1)
+
+    def accuracy(self, predict) -> float:
+        """Accuracy of ``predict(images) -> logits`` on the test split."""
+        logits = predict(self.test_x)
+        return float(np.mean(np.argmax(logits, axis=-1) == self.test_y))
+
+
+@dataclass
+class QADataset:
+    """Train/test split of the synthetic span-position task."""
+
+    seq_len: int = 16
+    vocab: int = 32
+    train_n: int = 128
+    test_n: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.train_x, self.train_y = synthetic_tokens(
+            self.train_n, self.seq_len, self.vocab, seed=self.seed)
+        self.test_x, self.test_y = synthetic_tokens(
+            self.test_n, self.seq_len, self.vocab, seed=self.seed + 1)
+
+    def accuracy(self, predict) -> float:
+        logits = predict(self.test_x)
+        return float(np.mean(np.argmax(logits, axis=-1) == self.test_y))
+
+
+def batches(x: np.ndarray, y: np.ndarray, batch_size: int,
+            seed: int | None = None):
+    """Yield (x, y) minibatches, optionally shuffled."""
+    n = len(x)
+    order = np.arange(n)
+    if seed is not None:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, n, batch_size):
+        index = order[start:start + batch_size]
+        yield x[index], y[index]

@@ -1,0 +1,29 @@
+"""Eager (define-by-run) execution backend — the reproduction's PyTorch analog.
+
+Operators execute immediately through an instrumentable dispatcher, autograd
+records a tape whose backward operators are themselves dispatched ops, and a
+``Module`` system provides the module-hook baseline interface.
+"""
+
+from . import ops as _ops  # noqa: F401  (registers the default operator set)
+from . import alloc, checkpoint, functional, optim, schedulers
+from .autograd import backward, grad
+from .dispatch import apply_op, enable_grad, no_grad, registry
+from .layers import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm1d, BatchNorm2d,
+                     Conv2d, Dropout, Embedding, Flatten, GELU, Identity,
+                     LayerNorm, Linear, MaxPool2d, MultiheadAttention, ReLU,
+                     Sigmoid, Softmax, Tanh)
+from .module import Module, ModuleList, Parameter, Sequential
+from .tensor import Tensor, arange, as_tensor, ones, randn, tensor, zeros
+
+F = functional
+
+__all__ = [
+    "Tensor", "Parameter", "Module", "Sequential", "ModuleList",
+    "tensor", "as_tensor", "zeros", "ones", "randn", "arange",
+    "backward", "grad", "no_grad", "enable_grad", "apply_op", "registry",
+    "functional", "F", "optim", "alloc", "schedulers", "checkpoint",
+    "Linear", "Conv2d", "BatchNorm1d", "BatchNorm2d", "LayerNorm", "Embedding",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Softmax", "MaxPool2d", "AvgPool2d",
+    "AdaptiveAvgPool2d", "Dropout", "Flatten", "Identity", "MultiheadAttention",
+]

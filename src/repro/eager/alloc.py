@@ -1,0 +1,75 @@
+"""Tensor allocation accounting for the memory-footprint experiment (Fig. 13).
+
+Every :class:`~repro.eager.tensor.Tensor` (and graph-backend runtime buffer)
+registers its byte size here under the *allocation scope* current at creation
+time.  The Amanda manager pushes the ``"amanda"`` scope while framework code
+runs and the ``"tool"`` scope while user instrumentation routines run, so the
+footprint can be split into DNN / framework / tool shares exactly like the
+paper's Fig. 13 breakdown.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["AllocationTracker", "tracker", "scope"]
+
+
+class AllocationTracker:
+    """Accumulates live and peak bytes per allocation scope."""
+
+    SCOPES = ("dnn", "amanda", "tool")
+
+    def __init__(self) -> None:
+        self._stack: list[str] = ["dnn"]
+        self.reset()
+
+    def reset(self) -> None:
+        self.live = dict.fromkeys(self.SCOPES, 0)
+        self.peak = dict.fromkeys(self.SCOPES, 0)
+        self.total_allocated = dict.fromkeys(self.SCOPES, 0)
+
+    @property
+    def current_scope(self) -> str:
+        return self._stack[-1]
+
+    def push_scope(self, name: str) -> None:
+        if name not in self.SCOPES:
+            raise ValueError(f"unknown allocation scope {name!r}")
+        self._stack.append(name)
+
+    def pop_scope(self) -> None:
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def allocate(self, nbytes: int, scope: str | None = None) -> str:
+        scope = scope or self.current_scope
+        self.live[scope] += nbytes
+        self.total_allocated[scope] += nbytes
+        if self.live[scope] > self.peak[scope]:
+            self.peak[scope] = self.live[scope]
+        return scope
+
+    def release(self, nbytes: int, scope: str) -> None:
+        self.live[scope] -= nbytes
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        return {
+            "live": dict(self.live),
+            "peak": dict(self.peak),
+            "total": dict(self.total_allocated),
+        }
+
+
+#: Process-global tracker shared by both backends.
+tracker = AllocationTracker()
+
+
+@contextmanager
+def scope(name: str):
+    """Attribute allocations inside the block to ``name``."""
+    tracker.push_scope(name)
+    try:
+        yield
+    finally:
+        tracker.pop_scope()

@@ -1,0 +1,50 @@
+"""Checkpointing: save/load module state as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_OPTIMIZER_PREFIX = "__optimizer__/"
+
+
+def save_checkpoint(path: str, module: Module, optimizer=None) -> None:
+    """Persist a module's parameters and buffers (and optimizer state)."""
+    state = dict(module.state_dict())
+    if optimizer is not None:
+        for index, param in enumerate(optimizer.params):
+            for slot_name, slots in _optimizer_slots(optimizer).items():
+                state[f"{_OPTIMIZER_PREFIX}{slot_name}/{index}"] = slots[index]
+        state[f"{_OPTIMIZER_PREFIX}step"] = np.array(
+            getattr(optimizer, "_step_count", 0))
+    np.savez(path, **state)
+
+
+def load_checkpoint(path: str, module: Module, optimizer=None) -> None:
+    """Restore a module (and optimizer) from :func:`save_checkpoint` output."""
+    archive = np.load(path)
+    model_state = {key: archive[key] for key in archive.files
+                   if not key.startswith(_OPTIMIZER_PREFIX)}
+    module.load_state_dict(model_state)
+    if optimizer is not None:
+        for slot_name, slots in _optimizer_slots(optimizer).items():
+            for index in range(len(optimizer.params)):
+                key = f"{_OPTIMIZER_PREFIX}{slot_name}/{index}"
+                if key in archive.files:
+                    np.copyto(slots[index], archive[key])
+        step_key = f"{_OPTIMIZER_PREFIX}step"
+        if step_key in archive.files and hasattr(optimizer, "_step_count"):
+            optimizer._step_count = int(archive[step_key])
+
+
+def _optimizer_slots(optimizer) -> dict[str, list[np.ndarray]]:
+    slots: dict[str, list[np.ndarray]] = {}
+    if hasattr(optimizer, "_velocity"):
+        slots["velocity"] = optimizer._velocity
+    if hasattr(optimizer, "_m"):
+        slots["m"] = optimizer._m
+        slots["v"] = optimizer._v
+    return slots

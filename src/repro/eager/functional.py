@@ -1,0 +1,143 @@
+"""Functional operator API of the eager backend (the ``F`` namespace).
+
+These free functions are the analogue of ``torch.nn.functional``: they invoke
+operators directly, *outside* any module.  Models that use them (residual
+adds, functional activations, attention math) are exactly the models on which
+module-hook-based instrumentation loses coverage (Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from .dispatch import apply_op
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu", "sigmoid", "tanh", "gelu", "softmax", "log_softmax", "dropout",
+    "linear", "conv2d", "bias_add", "max_pool2d", "avg_pool2d", "batch_norm",
+    "layer_norm", "embedding", "matmul", "reshape", "transpose", "concat",
+    "cross_entropy", "mse_loss", "flatten", "clip", "abs", "where", "stack",
+    "split", "pad",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return apply_op("relu", x)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return apply_op("sigmoid", x)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return apply_op("tanh", x)
+
+
+def gelu(x: Tensor) -> Tensor:
+    return apply_op("gelu", x)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return apply_op("softmax", x, axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return apply_op("log_softmax", x, axis=axis)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            seed: int | None = None) -> Tensor:
+    return apply_op("dropout", x, p=p, training=training, seed=seed)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    if bias is None:
+        return apply_op("linear", x, weight)
+    return apply_op("linear", x, weight, bias)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=(1, 1), padding=(0, 0), algorithm: str = "auto") -> Tensor:
+    out = apply_op("conv2d", x, weight, stride=stride, padding=padding,
+                   algorithm=algorithm)
+    if bias is not None:
+        out = apply_op("bias_add", out, bias)
+    return out
+
+
+def bias_add(x: Tensor, bias: Tensor) -> Tensor:
+    return apply_op("bias_add", x, bias)
+
+
+def max_pool2d(x: Tensor, kernel=(2, 2), stride=None, padding=(0, 0)) -> Tensor:
+    return apply_op("max_pool2d", x, kernel=kernel, stride=stride, padding=padding)
+
+
+def avg_pool2d(x: Tensor, kernel=(2, 2), stride=None, padding=(0, 0)) -> Tensor:
+    return apply_op("avg_pool2d", x, kernel=kernel, stride=stride, padding=padding)
+
+
+def batch_norm(x, gamma, beta, running_mean, running_var, training=True,
+               momentum=0.1, eps=1e-5) -> Tensor:
+    return apply_op("batch_norm", x, gamma, beta, running_mean, running_var,
+                    training=training, momentum=momentum, eps=eps)
+
+
+def layer_norm(x, gamma, beta, eps=1e-5) -> Tensor:
+    return apply_op("layer_norm", x, gamma, beta, eps=eps)
+
+
+def embedding(indices, weight) -> Tensor:
+    return apply_op("embedding", as_tensor(indices), weight)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return apply_op("matmul", a, b)
+
+
+def reshape(x: Tensor, shape) -> Tensor:
+    return apply_op("reshape", x, shape=tuple(shape))
+
+
+def transpose(x: Tensor, axes=None) -> Tensor:
+    return apply_op("transpose", x, axes=axes)
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    return apply_op("concat", *tensors, axis=axis)
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    shape = x.shape[:start_dim] + (-1,)
+    return apply_op("reshape", x, shape=shape)
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    return apply_op("cross_entropy", logits, as_tensor(targets))
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    return apply_op("mse_loss", pred, as_tensor(target))
+
+
+def clip(x: Tensor, minimum=None, maximum=None) -> Tensor:
+    return apply_op("clip", x, minimum=minimum, maximum=maximum)
+
+
+def abs(x: Tensor) -> Tensor:  # noqa: A001 (mirrors torch.abs)
+    return apply_op("abs", x)
+
+
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    return apply_op("where", as_tensor(condition), as_tensor(a), as_tensor(b))
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    return apply_op("stack", *tensors, axis=axis)
+
+
+def split(x: Tensor, sections: int = 2, axis: int = 0):
+    return apply_op("split", x, sections=sections, axis=axis)
+
+
+def pad(x: Tensor, pad_width) -> Tensor:
+    return apply_op("pad", x, pad_width=tuple(map(tuple, pad_width)))

@@ -1,0 +1,239 @@
+"""Standard neural-network layers for the eager backend."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear", "Conv2d", "BatchNorm2d", "BatchNorm1d", "LayerNorm", "Embedding",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Softmax", "MaxPool2d", "AvgPool2d",
+    "AdaptiveAvgPool2d", "Dropout", "Flatten", "Identity", "MultiheadAttention",
+]
+
+
+def _rng(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return tuple(value)
+    return (value, value)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = 1.0 / math.sqrt(in_features)
+        gen = _rng(rng)
+        self.weight = Parameter(gen.uniform(-bound, bound, (out_features, in_features)))
+        self.bias = Parameter(gen.uniform(-bound, bound, out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs; weight layout OIHW."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        fan_in = in_channels * self.kernel_size[0] * self.kernel_size[1]
+        bound = 1.0 / math.sqrt(fan_in)
+        gen = _rng(rng)
+        self.weight = Parameter(
+            gen.uniform(-bound, bound, (out_channels, in_channels) + self.kernel_size))
+        self.bias = Parameter(gen.uniform(-bound, bound, out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride})")
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", Tensor(np.zeros(num_features)))
+        self.register_buffer("running_var", Tensor(np.ones(num_features)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.weight, self.bias, self.running_mean,
+                            self.running_var, training=self.training,
+                            momentum=self.momentum, eps=self.eps)
+
+
+class BatchNorm1d(BatchNorm2d):
+    pass
+
+
+class LayerNorm(Module):
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Embedding(Module):
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(_rng(rng).standard_normal(
+            (num_embeddings, embedding_dim)) * 0.02)
+
+    def forward(self, indices) -> Tensor:
+        return F.embedding(indices, self.weight)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    """Global average pooling to a 1x1 spatial output."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3), keepdims=True)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5) -> None:
+        super().__init__()
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x, self.start_dim)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class MultiheadAttention(Module):
+    """Scaled dot-product multi-head self-attention.
+
+    The attention math (matmuls, scaling, softmax, residual projections) is
+    written with functional ops, as in real transformer implementations —
+    another source of operators invisible to module hooks.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        gen = _rng(rng)
+        self.q_proj = Linear(embed_dim, embed_dim, rng=gen)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=gen)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=gen)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        h, d = self.num_heads, self.head_dim
+
+        def split(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, h, d).transpose(0, 2, 1, 3)
+
+        q, k, v = split(self.q_proj(x)), split(self.k_proj(x)), split(self.v_proj(x))
+        scores = F.matmul(q, k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(d))
+        weights = F.softmax(scores, axis=-1)
+        attended = F.matmul(weights, v)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, seq, self.embed_dim)
+        return self.out_proj(merged)

@@ -1,0 +1,247 @@
+"""Module (layer container) system of the eager backend, with hooks.
+
+Mirrors ``torch.nn.Module`` closely enough that the paper's *module hook*
+baseline can be reproduced faithfully:
+
+* ``register_forward_pre_hook`` / ``register_forward_hook`` observe only
+  module boundaries — functional ops between modules are invisible to them;
+* ``register_full_backward_hook`` observes only the gradient at the module's
+  boundary tensors, not the (often multiple) backward operators inside —
+  which is the coverage gap Fig. 9 quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+import numpy as np
+
+from . import dispatch
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor owned by a module."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class RemovableHandle:
+    """Deregistration handle returned by hook registration."""
+
+    def __init__(self, container: list, item) -> None:
+        self._container = container
+        self._item = item
+
+    def remove(self) -> None:
+        if self._item in self._container:
+            self._container.remove(self._item)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._buffers: OrderedDict[str, Tensor] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+        self._forward_pre_hooks: list[Callable] = []
+        self._forward_hooks: list[Callable] = []
+        self._backward_hooks: list[Callable] = []
+        self.training = True
+
+    # -- attribute routing ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, tensor: Tensor) -> None:
+        self._buffers[name] = tensor
+        object.__setattr__(self, name, tensor)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    # -- traversal -----------------------------------------------------------
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                state[key] = buf.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = {}
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                buffers[f"{mod_name}.{buf_name}" if mod_name else buf_name] = buf
+        for key, value in state.items():
+            target = params.get(key) or buffers.get(key)
+            if target is None:
+                raise KeyError(f"unexpected state entry {key!r}")
+            np.copyto(target.data, value)
+
+    # -- train / eval --------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- hooks (the PyTorch-style baseline interface) -------------------------
+    def register_forward_pre_hook(self, hook: Callable) -> RemovableHandle:
+        self._forward_pre_hooks.append(hook)
+        return RemovableHandle(self._forward_pre_hooks, hook)
+
+    def register_forward_hook(self, hook: Callable) -> RemovableHandle:
+        self._forward_hooks.append(hook)
+        return RemovableHandle(self._forward_hooks, hook)
+
+    def register_full_backward_hook(self, hook: Callable) -> RemovableHandle:
+        self._backward_hooks.append(hook)
+        return RemovableHandle(self._backward_hooks, hook)
+
+    # -- execution -----------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        for hook in list(self._forward_pre_hooks):
+            result = hook(self, args)
+            if result is not None:
+                args = result if isinstance(result, tuple) else (result,)
+        dispatch.push_module(self)
+        try:
+            output = self.forward(*args, **kwargs)
+        finally:
+            dispatch.pop_module()
+        for hook in list(self._forward_hooks):
+            result = hook(self, args, output)
+            if result is not None:
+                output = result
+        if self._backward_hooks:
+            self._attach_backward_hooks(args, output)
+        return output
+
+    def _attach_backward_hooks(self, inputs: tuple, output) -> None:
+        outputs = output if isinstance(output, tuple) else (output,)
+        out_tensors = [t for t in outputs if isinstance(t, Tensor)]
+        in_tensors = [t for t in inputs if isinstance(t, Tensor) and t.requires_grad]
+        grad_outputs: list = [None] * len(out_tensors)
+        grad_inputs: list = [None] * len(in_tensors)
+        fired = [False]
+
+        def fire() -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            for hook in list(self._backward_hooks):
+                hook(self, tuple(grad_inputs), tuple(grad_outputs))
+
+        def make_out_hook(index: int):
+            def hook(grad):
+                grad_outputs[index] = grad
+                if not in_tensors:
+                    fire()
+                return None
+            return hook
+
+        def make_in_hook(index: int):
+            def hook(grad):
+                grad_inputs[index] = grad
+                fire()
+                return None
+            return hook
+
+        for i, t in enumerate(out_tensors):
+            t.register_hook(make_out_hook(i))
+        for i, t in enumerate(in_tensors):
+            t.register_hook(make_in_hook(i))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self):
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers each for traversal."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self):
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]

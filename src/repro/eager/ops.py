@@ -1,0 +1,613 @@
+"""Operator definitions of the eager backend.
+
+Each operator registers a numpy forward plus one or more named backward
+operators.  Heavy numerics are delegated to :mod:`repro.kernels.nn`, so both
+execution backends share kernels and the simulated-CUPTI profiler sees the
+same kernel stream either way.
+
+Operators that matter for the paper's evaluation are modelled faithfully:
+
+* ``conv2d`` declares *three* backward ops (data / filter gradients are
+  separate kernels, as in cuDNN), so one forward op launches several backward
+  ops — the multiplicity module hooks cannot see (Fig. 9);
+* ``bias_add`` is a separate op (as in TensorFlow), inflating realistic op
+  counts relative to module counts;
+* elementwise ops (``add`` used by residual connections, ``mul``, ...) are
+  plain functional ops with no owning module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import nn as K
+from ..kernels.runtime import launch
+from .dispatch import BackwardDef, OpDef, registry, unbroadcast
+
+__all__ = ["register_default_ops"]
+
+
+def _register(name, forward, backward_defs=None, **kwargs):
+    return registry.register(OpDef(name, forward, backward_defs, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# elementwise binary ops (with broadcasting-aware backward)
+# ---------------------------------------------------------------------------
+
+def _add_fwd(ctx, a, b):
+    ctx.save(a_shape=a.shape, b_shape=b.shape)
+    return launch("ewise_add", np.add, a, b)
+
+
+def _add_bwd(ctx, grads):
+    g = grads[0]
+    return {0: unbroadcast(g, ctx["a_shape"]), 1: unbroadcast(g, ctx["b_shape"])}
+
+
+def _sub_fwd(ctx, a, b):
+    ctx.save(a_shape=a.shape, b_shape=b.shape)
+    return launch("ewise_sub", np.subtract, a, b)
+
+
+def _sub_bwd(ctx, grads):
+    g = grads[0]
+    return {0: unbroadcast(g, ctx["a_shape"]), 1: unbroadcast(-g, ctx["b_shape"])}
+
+
+def _mul_fwd(ctx, a, b):
+    ctx.save(a=a, b=b)
+    return launch("ewise_mul", np.multiply, a, b)
+
+
+def _mul_bwd(ctx, grads):
+    g = grads[0]
+    return {
+        0: unbroadcast(g * ctx["b"], ctx["a"].shape),
+        1: unbroadcast(g * ctx["a"], ctx["b"].shape),
+    }
+
+
+def _div_fwd(ctx, a, b):
+    ctx.save(a=a, b=b)
+    return launch("ewise_div", np.divide, a, b)
+
+
+def _div_bwd(ctx, grads):
+    g = grads[0]
+    a, b = ctx["a"], ctx["b"]
+    return {
+        0: unbroadcast(g / b, a.shape),
+        1: unbroadcast(-g * a / (b * b), b.shape),
+    }
+
+
+def _neg_fwd(ctx, a):
+    return launch("ewise_neg", np.negative, a)
+
+
+def _pow_fwd(ctx, a, exponent=2.0):
+    ctx.save(a=a, exponent=exponent)
+    return launch("ewise_pow", np.power, a, exponent)
+
+
+def _pow_bwd(ctx, grads):
+    a, p = ctx["a"], ctx["exponent"]
+    return {0: grads[0] * p * np.power(a, p - 1)}
+
+
+def _exp_fwd(ctx, a):
+    out = launch("ewise_exp", np.exp, a)
+    ctx.save(out=out)
+    return out
+
+
+def _log_fwd(ctx, a):
+    ctx.save(a=a)
+    return launch("ewise_log", np.log, a)
+
+
+def _sqrt_fwd(ctx, a):
+    out = launch("ewise_sqrt", np.sqrt, a)
+    ctx.save(out=out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# matmul / linear
+# ---------------------------------------------------------------------------
+
+def _matmul_fwd(ctx, a, b):
+    ctx.save(a=a, b=b)
+    return K.matmul(a, b)
+
+
+def _matmul_bwd(ctx, grads):
+    g = grads[0]
+    a, b = ctx["a"], ctx["b"]
+    ga = K.matmul(g, np.swapaxes(b, -1, -2))
+    gb = K.matmul(np.swapaxes(a, -1, -2), g)
+    return {0: unbroadcast(ga, a.shape), 1: unbroadcast(gb, b.shape)}
+
+
+def _linear_fwd(ctx, x, weight, bias=None):
+    ctx.save(x=x, weight=weight, has_bias=bias is not None)
+    out = K.matmul(x, weight.T)
+    if bias is not None:
+        out = launch("bias_add", np.add, out, bias)
+    return out
+
+
+def _linear_bwd_input(ctx, grads):
+    return {0: K.matmul(grads[0], ctx["weight"])}
+
+
+def _linear_bwd_weight(ctx, grads):
+    g = grads[0].reshape(-1, grads[0].shape[-1])
+    x = ctx["x"].reshape(-1, ctx["x"].shape[-1])
+    return {1: K.matmul(g.T, x)}
+
+
+def _linear_bwd_bias(ctx, grads):
+    if not ctx["has_bias"]:
+        return {}
+    g = grads[0]
+    return {2: launch("reduce_sum", g.reshape(-1, g.shape[-1]).sum, 0)}
+
+
+# ---------------------------------------------------------------------------
+# convolution family
+# ---------------------------------------------------------------------------
+
+def _conv2d_fwd(ctx, x, weight, stride=(1, 1), padding=(0, 0), algorithm="auto"):
+    stride, padding = tuple(stride), tuple(padding)
+    ctx.save(x=x, weight=weight, stride=stride, padding=padding)
+    return K.conv2d_forward(x, weight, stride, padding, algorithm)
+
+
+def _conv2d_bwd_input(ctx, grads):
+    return {0: K.conv2d_backward_input(grads[0], ctx["weight"], ctx["x"].shape,
+                                       ctx["stride"], ctx["padding"])}
+
+
+def _conv2d_bwd_weight(ctx, grads):
+    return {1: K.conv2d_backward_weight(grads[0], ctx["x"], ctx["weight"].shape,
+                                        ctx["stride"], ctx["padding"])}
+
+
+def _bias_add_fwd(ctx, x, bias):
+    ctx.save(ndim=x.ndim, bias_shape=bias.shape)
+    if x.ndim == 4:  # NCHW channel bias
+        return launch("bias_add", np.add, x, bias.reshape(1, -1, 1, 1))
+    return launch("bias_add", np.add, x, bias)
+
+
+def _bias_add_bwd(ctx, grads):
+    g = grads[0]
+    if ctx["ndim"] == 4:
+        gb = g.sum(axis=(0, 2, 3))
+    else:
+        gb = g.reshape(-1, g.shape[-1]).sum(axis=0)
+    return {0: g, 1: gb.reshape(ctx["bias_shape"])}
+
+
+def _maxpool2d_fwd(ctx, x, kernel=(2, 2), stride=None, padding=(0, 0)):
+    kernel = tuple(kernel)
+    stride = tuple(stride) if stride else kernel
+    padding = tuple(padding)
+    out = K.maxpool2d_forward(x, kernel, stride, padding)
+    ctx.save(x=x, out=out, kernel=kernel, stride=stride, padding=padding)
+    return out
+
+
+def _maxpool2d_bwd(ctx, grads):
+    return {0: K.maxpool2d_backward(grads[0], ctx["x"], ctx["out"],
+                                    ctx["kernel"], ctx["stride"], ctx["padding"])}
+
+
+def _avgpool2d_fwd(ctx, x, kernel=(2, 2), stride=None, padding=(0, 0)):
+    kernel = tuple(kernel)
+    stride = tuple(stride) if stride else kernel
+    padding = tuple(padding)
+    ctx.save(x_shape=x.shape, kernel=kernel, stride=stride, padding=padding)
+    return K.avgpool2d_forward(x, kernel, stride, padding)
+
+
+def _avgpool2d_bwd(ctx, grads):
+    return {0: K.avgpool2d_backward(grads[0], ctx["x_shape"], ctx["kernel"],
+                                    ctx["stride"], ctx["padding"])}
+
+
+# ---------------------------------------------------------------------------
+# normalization
+# ---------------------------------------------------------------------------
+
+def _batch_norm_fwd(ctx, x, gamma, beta, running_mean, running_var,
+                    training=True, momentum=0.1, eps=1e-5):
+    out, cache, new_rm, new_rv = K.batch_norm_forward(
+        x, gamma, beta, running_mean, running_var, training, momentum, eps)
+    # running statistics are updated in place, as framework batch norms do
+    np.copyto(running_mean, new_rm)
+    np.copyto(running_var, new_rv)
+    ctx.save(cache=cache, training=training)
+    return out
+
+
+def _batch_norm_bwd(ctx, grads):
+    dx, dgamma, dbeta = K.batch_norm_backward(grads[0], ctx["cache"], ctx["training"])
+    return {0: dx, 1: dgamma, 2: dbeta}
+
+
+def _layer_norm_fwd(ctx, x, gamma, beta, eps=1e-5):
+    out, cache = K.layer_norm_forward(x, gamma, beta, eps)
+    ctx.save(cache=cache)
+    return out
+
+
+def _layer_norm_bwd(ctx, grads):
+    dx, dgamma, dbeta = K.layer_norm_backward(grads[0], ctx["cache"])
+    return {0: dx, 1: dgamma, 2: dbeta}
+
+
+# ---------------------------------------------------------------------------
+# activations
+# ---------------------------------------------------------------------------
+
+def _relu_fwd(ctx, x):
+    ctx.save(x=x)
+    return K.relu(x)
+
+
+def _relu_bwd(ctx, grads):
+    return {0: K.relu_backward(grads[0], ctx["x"])}
+
+
+def _sigmoid_fwd(ctx, x):
+    out = K.sigmoid(x)
+    ctx.save(out=out)
+    return out
+
+
+def _tanh_fwd(ctx, x):
+    out = launch("tanh", np.tanh, x)
+    ctx.save(out=out)
+    return out
+
+
+def _gelu_fwd(ctx, x):
+    ctx.save(x=x)
+    return K.gelu(x)
+
+
+def _softmax_fwd(ctx, x, axis=-1):
+    out = K.softmax(x, axis)
+    ctx.save(out=out, axis=axis)
+    return out
+
+
+def _softmax_bwd(ctx, grads):
+    return {0: K.softmax_backward(grads[0], ctx["out"], ctx["axis"])}
+
+
+def _log_softmax_fwd(ctx, x, axis=-1):
+    out = K.log_softmax(x, axis)
+    ctx.save(out=out, axis=axis)
+    return out
+
+
+def _log_softmax_bwd(ctx, grads):
+    return {0: K.log_softmax_backward(grads[0], ctx["out"], ctx["axis"])}
+
+
+def _dropout_fwd(ctx, x, p=0.5, training=True, seed=None):
+    if not training or p <= 0.0:
+        ctx.save(mask=None)
+        return x.copy()
+    rng = np.random.default_rng(seed)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    ctx.save(mask=mask)
+    return launch("dropout", np.multiply, x, mask)
+
+
+def _dropout_bwd(ctx, grads):
+    mask = ctx["mask"]
+    return {0: grads[0] if mask is None else grads[0] * mask}
+
+
+# ---------------------------------------------------------------------------
+# shape ops
+# ---------------------------------------------------------------------------
+
+def _reshape_fwd(ctx, x, shape=None):
+    ctx.save(x_shape=x.shape)
+    return launch("reshape", np.reshape, x, shape)
+
+
+def _reshape_bwd(ctx, grads):
+    return {0: grads[0].reshape(ctx["x_shape"])}
+
+
+def _transpose_fwd(ctx, x, axes=None):
+    ctx.save(axes=axes)
+    return launch("transpose", np.transpose, x, axes)
+
+
+def _transpose_bwd(ctx, grads):
+    axes = ctx["axes"]
+    if axes is None:
+        return {0: np.transpose(grads[0])}
+    inverse = np.argsort(axes)
+    return {0: np.transpose(grads[0], inverse)}
+
+
+def _slice_fwd(ctx, x, index=None):
+    ctx.save(x_shape=x.shape, index=index)
+    return launch("slice", lambda a: np.ascontiguousarray(a[index]), x)
+
+
+def _slice_bwd(ctx, grads):
+    out = np.zeros(ctx["x_shape"], dtype=grads[0].dtype)
+    out[ctx["index"]] = grads[0]
+    return {0: out}
+
+
+def _concat_fwd(ctx, *arrays, axis=0):
+    ctx.save(sizes=[a.shape[axis] for a in arrays], axis=axis)
+    return launch("concat", np.concatenate, arrays, axis=axis)
+
+
+def _concat_bwd(ctx, grads):
+    axis, sizes = ctx["axis"], ctx["sizes"]
+    splits = np.cumsum(sizes)[:-1]
+    pieces = np.split(grads[0], splits, axis=axis)
+    return dict(enumerate(pieces))
+
+
+def _abs_fwd(ctx, a):
+    ctx.save(a=a)
+    return launch("ewise_abs", np.abs, a)
+
+
+def _abs_bwd(ctx, grads):
+    return {0: grads[0] * np.sign(ctx["a"])}
+
+
+def _clip_fwd(ctx, a, minimum=None, maximum=None):
+    ctx.save(a=a, minimum=minimum, maximum=maximum)
+    return launch("ewise_clip", np.clip, a, minimum, maximum)
+
+
+def _clip_bwd(ctx, grads):
+    a, lo, hi = ctx["a"], ctx["minimum"], ctx["maximum"]
+    inside = np.ones_like(a, dtype=bool)
+    if lo is not None:
+        inside &= a >= lo
+    if hi is not None:
+        inside &= a <= hi
+    return {0: grads[0] * inside}
+
+
+def _where_fwd(ctx, condition, a, b):
+    ctx.save(condition=condition.astype(bool))
+    return launch("ewise_where", np.where, condition.astype(bool), a, b)
+
+
+def _where_bwd(ctx, grads):
+    condition = ctx["condition"]
+    g = grads[0]
+    return {1: unbroadcast(g * condition, g.shape),
+            2: unbroadcast(g * ~condition, g.shape)}
+
+
+def _stack_fwd(ctx, *arrays, axis=0):
+    ctx.save(axis=axis, count=len(arrays))
+    return launch("stack", np.stack, arrays, axis=axis)
+
+
+def _stack_bwd(ctx, grads):
+    pieces = np.split(grads[0], ctx["count"], axis=ctx["axis"])
+    return {i: np.squeeze(p, axis=ctx["axis"]) for i, p in enumerate(pieces)}
+
+
+def _split_fwd(ctx, a, sections=2, axis=0):
+    ctx.save(axis=axis)
+    return tuple(launch("split", np.split, a, sections, axis=axis))
+
+
+def _split_bwd(ctx, grads):
+    return {0: np.concatenate(grads, axis=ctx["axis"])}
+
+
+def _pad_fwd(ctx, a, pad_width=None):
+    ctx.save(pad_width=tuple(map(tuple, pad_width)))
+    return launch("pad", np.pad, a, pad_width)
+
+
+def _pad_bwd(ctx, grads):
+    slices = tuple(slice(before, grads[0].shape[i] - after)
+                   for i, (before, after) in enumerate(ctx["pad_width"]))
+    return {0: grads[0][slices]}
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def _sum_fwd(ctx, x, axis=None, keepdims=False):
+    ctx.save(x_shape=x.shape, axis=axis, keepdims=keepdims)
+    return launch("reduce_sum", np.sum, x, axis=axis, keepdims=keepdims)
+
+
+def _expand_reduce_grad(ctx, g):
+    axis, keepdims, shape = ctx["axis"], ctx["keepdims"], ctx["x_shape"]
+    if axis is not None and not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        for a in sorted(a % len(shape) for a in axes):
+            g = np.expand_dims(g, a)
+    return np.broadcast_to(g, shape).copy()
+
+
+def _sum_bwd(ctx, grads):
+    return {0: _expand_reduce_grad(ctx, np.asarray(grads[0]))}
+
+
+def _mean_fwd(ctx, x, axis=None, keepdims=False):
+    ctx.save(x_shape=x.shape, axis=axis, keepdims=keepdims, size=x.size)
+    return launch("reduce_mean", np.mean, x, axis=axis, keepdims=keepdims)
+
+
+def _mean_bwd(ctx, grads):
+    shape = ctx["x_shape"]
+    axis = ctx["axis"]
+    if axis is None:
+        count = ctx["size"]
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([shape[a] for a in axes]))
+    return {0: _expand_reduce_grad(ctx, np.asarray(grads[0])) / count}
+
+
+# ---------------------------------------------------------------------------
+# embedding / losses
+# ---------------------------------------------------------------------------
+
+def _embedding_fwd(ctx, indices, weight):
+    idx = indices.astype(np.int64)
+    ctx.save(indices=idx, vocab=weight.shape[0])
+    return K.embedding_forward(idx, weight)
+
+
+def _embedding_bwd(ctx, grads):
+    return {1: K.embedding_backward(grads[0], ctx["indices"], ctx["vocab"])}
+
+
+def _cross_entropy_fwd(ctx, logits, targets):
+    tgt = targets.astype(np.int64)
+    log_probs = K.log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, log_probs.shape[-1])
+    picked = flat[np.arange(flat.shape[0]), tgt.reshape(-1)]
+    ctx.save(log_probs=log_probs, targets=tgt, count=flat.shape[0])
+    return launch("nll_loss", lambda p: -p.mean(), picked)
+
+
+def _cross_entropy_bwd(ctx, grads):
+    log_probs, tgt, count = ctx["log_probs"], ctx["targets"], ctx["count"]
+    probs = np.exp(log_probs).reshape(-1, log_probs.shape[-1])
+    one_hot = np.zeros_like(probs)
+    one_hot[np.arange(count), tgt.reshape(-1)] = 1.0
+    g = (probs - one_hot) / count * grads[0]
+    return {0: g.reshape(log_probs.shape)}
+
+
+def _mse_fwd(ctx, pred, target):
+    diff = pred - target
+    ctx.save(diff=diff)
+    return launch("mse_loss", lambda d: (d * d).mean(), diff)
+
+
+def _mse_bwd(ctx, grads):
+    diff = ctx["diff"]
+    g = 2.0 * diff / diff.size * grads[0]
+    return {0: g, 1: -g}
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+_REGISTERED = False
+
+
+def register_default_ops() -> None:
+    """Register the backend's built-in operator set (idempotent)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+
+    _register("add", _add_fwd, [BackwardDef("add_backward", _add_bwd)])
+    _register("sub", _sub_fwd, [BackwardDef("sub_backward", _sub_bwd)])
+    _register("mul", _mul_fwd, [BackwardDef("mul_backward", _mul_bwd)])
+    _register("div", _div_fwd, [BackwardDef("div_backward", _div_bwd)])
+    _register("neg", _neg_fwd,
+              [BackwardDef("neg_backward", lambda ctx, g: {0: -g[0]})])
+    _register("pow", _pow_fwd, [BackwardDef("pow_backward", _pow_bwd)])
+    _register("exp", _exp_fwd,
+              [BackwardDef("exp_backward", lambda ctx, g: {0: g[0] * ctx["out"]})])
+    _register("log", _log_fwd,
+              [BackwardDef("log_backward", lambda ctx, g: {0: g[0] / ctx["a"]})])
+    _register("sqrt", _sqrt_fwd,
+              [BackwardDef("sqrt_backward",
+                           lambda ctx, g: {0: g[0] * 0.5 / ctx["out"]})])
+
+    _register("matmul", _matmul_fwd,
+              [BackwardDef("matmul_backward", _matmul_bwd)])
+    _register("linear", _linear_fwd, [
+        BackwardDef("linear_backward_input", _linear_bwd_input),
+        BackwardDef("linear_backward_weight", _linear_bwd_weight),
+        BackwardDef("linear_backward_bias", _linear_bwd_bias),
+    ])
+    _register("conv2d", _conv2d_fwd, [
+        BackwardDef("conv2d_backward_input", _conv2d_bwd_input),
+        BackwardDef("conv2d_backward_weight", _conv2d_bwd_weight),
+    ])
+    _register("bias_add", _bias_add_fwd,
+              [BackwardDef("bias_add_backward", _bias_add_bwd)])
+    _register("max_pool2d", _maxpool2d_fwd,
+              [BackwardDef("max_pool2d_backward", _maxpool2d_bwd)])
+    _register("avg_pool2d", _avgpool2d_fwd,
+              [BackwardDef("avg_pool2d_backward", _avgpool2d_bwd)])
+
+    _register("batch_norm", _batch_norm_fwd,
+              [BackwardDef("batch_norm_backward", _batch_norm_bwd)])
+    _register("layer_norm", _layer_norm_fwd,
+              [BackwardDef("layer_norm_backward", _layer_norm_bwd)])
+
+    _register("relu", _relu_fwd, [BackwardDef("relu_backward", _relu_bwd)])
+    _register("sigmoid", _sigmoid_fwd,
+              [BackwardDef("sigmoid_backward",
+                           lambda ctx, g: {0: K.sigmoid_backward(g[0], ctx["out"])})])
+    _register("tanh", _tanh_fwd,
+              [BackwardDef("tanh_backward",
+                           lambda ctx, g: {0: K.tanh_backward(g[0], ctx["out"])})])
+    _register("gelu", _gelu_fwd,
+              [BackwardDef("gelu_backward",
+                           lambda ctx, g: {0: K.gelu_backward(g[0], ctx["x"])})])
+    _register("softmax", _softmax_fwd,
+              [BackwardDef("softmax_backward", _softmax_bwd)])
+    _register("log_softmax", _log_softmax_fwd,
+              [BackwardDef("log_softmax_backward", _log_softmax_bwd)])
+    _register("dropout", _dropout_fwd,
+              [BackwardDef("dropout_backward", _dropout_bwd)])
+
+    _register("reshape", _reshape_fwd,
+              [BackwardDef("reshape_backward", _reshape_bwd)])
+    _register("transpose", _transpose_fwd,
+              [BackwardDef("transpose_backward", _transpose_bwd)])
+    _register("slice", _slice_fwd,
+              [BackwardDef("slice_backward", _slice_bwd)])
+    _register("concat", _concat_fwd,
+              [BackwardDef("concat_backward", _concat_bwd)])
+
+    _register("abs", _abs_fwd, [BackwardDef("abs_backward", _abs_bwd)])
+    _register("clip", _clip_fwd, [BackwardDef("clip_backward", _clip_bwd)])
+    _register("where", _where_fwd,
+              [BackwardDef("where_backward", _where_bwd)])
+    _register("stack", _stack_fwd,
+              [BackwardDef("stack_backward", _stack_bwd)])
+    _register("split", _split_fwd,
+              [BackwardDef("split_backward", _split_bwd)], num_outputs=2)
+    _register("pad", _pad_fwd, [BackwardDef("pad_backward", _pad_bwd)])
+
+    _register("sum", _sum_fwd, [BackwardDef("sum_backward", _sum_bwd)])
+    _register("mean", _mean_fwd, [BackwardDef("mean_backward", _mean_bwd)])
+
+    _register("embedding", _embedding_fwd,
+              [BackwardDef("embedding_backward", _embedding_bwd)])
+    _register("cross_entropy", _cross_entropy_fwd,
+              [BackwardDef("cross_entropy_backward", _cross_entropy_bwd)])
+    _register("mse_loss", _mse_fwd,
+              [BackwardDef("mse_loss_backward", _mse_bwd)])
+
+
+register_default_ops()

@@ -1,0 +1,74 @@
+"""Learning-rate schedulers for the eager backend's optimizers."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base LR over ``warmup_epochs``, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError("warmup_epochs must be positive")
+        self.warmup_epochs = warmup_epochs
+        optimizer.lr = self.base_lr / warmup_epochs
+
+    def get_lr(self) -> float:
+        if self.epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (self.epoch + 1) / self.warmup_epochs

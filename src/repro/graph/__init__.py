@@ -1,0 +1,19 @@
+"""Graph (define-then-run) execution backend — the TensorFlow analog.
+
+Models are built as append-only data-flow graphs with TF-style op types and
+NHWC layout, differentiated by constructing an explicit backward graph, and
+executed by a Session with run hooks.
+"""
+
+from . import builder, fusion, optim, rewrite
+from .core import (Graph, GraphFinalizedError, GraphTensor, Operation,
+                   VariableStore, default_graph, get_default_graph)
+from .gradients import gradients
+from .session import RunContext, Session, SessionRunHook
+
+__all__ = [
+    "builder", "fusion", "optim", "rewrite", "Graph", "GraphTensor", "Operation",
+    "VariableStore", "GraphFinalizedError", "default_graph",
+    "get_default_graph", "gradients", "Session", "SessionRunHook",
+    "RunContext",
+]

@@ -1,0 +1,211 @@
+"""Core data structures of the graph (define-then-run) backend.
+
+This is the reproduction's TensorFlow-1.x analog: a model is first built as an
+append-only :class:`Graph` of symbolic :class:`Operation` nodes connected by
+:class:`GraphTensor` edges, then executed by a
+:class:`~repro.graph.session.Session`.  Mirroring TF semantics that matter to
+the paper:
+
+* the graph is **append-only** for users and **finalized** (sealed) once a
+  session first runs it — the limitation that breaks user-level tracing via
+  graph transformation (Sec. 7);
+* variables live in a :class:`VariableStore` shared between a vanilla graph
+  and any instrumented copies the Amanda driver builds, so graph switching
+  keeps computation state consistent (Sec. 5.3);
+* op types use TensorFlow naming (``Conv2D``, ``BiasAdd``...) and NHWC/HWIO
+  layouts, so the context MappingTool has a real divergence to normalize.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["Graph", "GraphTensor", "Operation", "VariableStore",
+           "default_graph", "get_default_graph", "GraphFinalizedError"]
+
+
+class GraphFinalizedError(RuntimeError):
+    """Raised when user code mutates a graph already submitted to a session."""
+
+
+class GraphTensor:
+    """A symbolic edge: the ``index``-th output of ``op``."""
+
+    __slots__ = ("op", "index", "name")
+
+    def __init__(self, op: "Operation", index: int) -> None:
+        self.op = op
+        self.index = index
+        self.name = f"{op.name}:{index}"
+
+    @property
+    def graph(self) -> "Graph":
+        return self.op.graph
+
+    # arithmetic sugar builds graph nodes (like TF operator overloading)
+    def _binary(self, op_type: str, other) -> "GraphTensor":
+        from . import builder
+        other = builder.convert_to_tensor(other, graph=self.graph)
+        return self.graph.add_op(op_type, [self, other]).outputs[0]
+
+    def __add__(self, other):
+        return self._binary("Add", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary("Sub", other)
+
+    def __mul__(self, other):
+        return self._binary("Mul", other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary("RealDiv", other)
+
+    def __neg__(self):
+        return self.graph.add_op("Neg", [self]).outputs[0]
+
+    def __repr__(self) -> str:
+        return f"GraphTensor({self.name})"
+
+
+class Operation:
+    """A node in the data-flow graph."""
+
+    __slots__ = ("graph", "type", "name", "inputs", "attrs", "outputs",
+                 "control_inputs", "forward_op", "op_id", "tags")
+
+    def __init__(self, graph: "Graph", op_type: str, name: str,
+                 inputs: Iterable[GraphTensor], attrs: dict | None = None,
+                 num_outputs: int = 1,
+                 control_inputs: Iterable["Operation"] = ()) -> None:
+        self.graph = graph
+        self.type = op_type
+        self.name = name
+        self.inputs = list(inputs)
+        self.attrs = dict(attrs or {})
+        self.outputs = [GraphTensor(self, i) for i in range(num_outputs)]
+        self.control_inputs = list(control_inputs)
+        #: for backward ops: the forward Operation they differentiate
+        self.forward_op: Operation | None = None
+        #: stable instrumentation id, assigned by the framework
+        self.op_id: int | None = None
+        #: free-form annotations (instrumentation bookkeeping)
+        self.tags: dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"Operation(type={self.type!r}, name={self.name!r})"
+
+
+class VariableStore:
+    """Mutable storage for variable values, shared across graph instances."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, np.ndarray] = {}
+
+    def create(self, name: str, value: np.ndarray) -> None:
+        self._values[name] = np.array(value, dtype=np.float64)
+
+    def read(self, name: str) -> np.ndarray:
+        return self._values[name]
+
+    def write(self, name: str, value: np.ndarray) -> None:
+        self._values[name] = np.asarray(value)
+
+    def update_in_place(self, name: str, fn) -> None:
+        self._values[name] = fn(self._values[name])
+
+    def names(self) -> list[str]:
+        return sorted(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+
+class Graph:
+    """An append-only data-flow graph of operations."""
+
+    def __init__(self, variable_store: VariableStore | None = None) -> None:
+        self.operations: list[Operation] = []
+        self._by_name: dict[str, Operation] = {}
+        self._name_counter = itertools.count()
+        self.variables = variable_store or VariableStore()
+        self.finalized = False
+        self.version = 0
+        #: instrumented copies bypass the finalize check (driver-internal)
+        self._internal_mutation = False
+
+    # -- construction ---------------------------------------------------------
+    def unique_name(self, base: str) -> str:
+        name = base
+        while name in self._by_name:
+            name = f"{base}_{next(self._name_counter)}"
+        return name
+
+    def add_op(self, op_type: str, inputs: Iterable[GraphTensor] = (),
+               attrs: dict | None = None, name: str | None = None,
+               num_outputs: int = 1,
+               control_inputs: Iterable[Operation] = ()) -> Operation:
+        if self.finalized and not self._internal_mutation:
+            raise GraphFinalizedError(
+                f"graph is finalized; cannot add op {op_type!r}. "
+                "(TensorFlow graphs seal after session submission.)")
+        name = self.unique_name(name or op_type)
+        op = Operation(self, op_type, name, inputs, attrs, num_outputs,
+                       control_inputs)
+        self.operations.append(op)
+        self._by_name[name] = op
+        self.version += 1
+        return op
+
+    def get_operation(self, name: str) -> Operation:
+        return self._by_name[name]
+
+    def get_tensor(self, name: str) -> GraphTensor:
+        op_name, _, index = name.partition(":")
+        return self._by_name[op_name].outputs[int(index or 0)]
+
+    # -- lifecycle -------------------------------------------------------------
+    def finalize(self) -> None:
+        self.finalized = True
+
+    def fingerprint(self) -> tuple:
+        """Cheap structural identity used by the driver's graph-level cache."""
+        return (id(self), self.version)
+
+    # -- queries ----------------------------------------------------------------
+    def consumers(self, tensor: GraphTensor) -> list[Operation]:
+        return [op for op in self.operations if tensor in op.inputs]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self.operations)} ops, version={self.version})"
+
+
+_default_graph_stack: list[Graph] = [Graph()]
+
+
+def get_default_graph() -> Graph:
+    return _default_graph_stack[-1]
+
+
+class default_graph:
+    """Context manager making ``graph`` the implicit build target."""
+
+    def __init__(self, graph: Graph | None = None) -> None:
+        self.graph = graph or Graph()
+
+    def __enter__(self) -> Graph:
+        _default_graph_stack.append(self.graph)
+        return self.graph
+
+    def __exit__(self, *exc) -> bool:
+        _default_graph_stack.pop()
+        return False

@@ -1,0 +1,176 @@
+"""Compiler-style operator fusion for the graph backend (paper Sec. 7).
+
+The paper discusses how DNN compilers that fuse operators *remove
+instrumentation points*, and sketches the fix: "an intermediate level that
+maintains the relationship between the remaining instrumentation points and
+the original ones".  This module implements both halves:
+
+* :func:`fuse_graph` — a TVM/Grappler-flavoured optimization pass that fuses
+  ``Conv2D(+BiasAdd)(+Relu)`` and ``MatMul(+BiasAdd)(+Relu)`` chains into
+  single ``FusedConv2D``/``FusedMatMul`` operators (whenever the intermediate
+  values have no other consumers and are not fetched);
+* the **fusion provenance** record: every fused op carries
+  ``tags["fused_from"]`` — the ordered list of original op types — which the
+  standard mapping tool surfaces as ``context["fused_types"]`` so
+  instrumentation tools can still find the points that fusion absorbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import nn as K
+from ..kernels.runtime import launch
+from .builder import register_compute
+from .core import Graph, Operation
+from .rewrite import copy_graph
+
+__all__ = ["fuse_graph", "fusion_report"]
+
+
+@register_compute("FusedConv2D")
+def _compute_fused_conv(op, inputs, runtime):
+    x, w = inputs[0], inputs[1]
+    xc = np.ascontiguousarray(np.transpose(x, (0, 3, 1, 2)))
+    wc = np.ascontiguousarray(np.transpose(w, (3, 2, 0, 1)))
+    out = K.conv2d_forward(xc, wc, op.attrs["strides"], op.attrs["padding"])
+    out = np.ascontiguousarray(np.transpose(out, (0, 2, 3, 1)))
+    if op.attrs.get("has_bias"):
+        out = launch("bias_add", np.add, out, inputs[2])
+    if op.attrs.get("has_relu"):
+        out = K.relu(out)
+    return (out,)
+
+
+@register_compute("FusedMatMul")
+def _compute_fused_matmul(op, inputs, runtime):
+    out = K.matmul(inputs[0], inputs[1])
+    if op.attrs.get("has_bias"):
+        out = launch("bias_add", np.add, out, inputs[2])
+    if op.attrs.get("has_relu"):
+        out = K.relu(out)
+    return (out,)
+
+
+_FUSABLE_HEADS = {"Conv2D": "FusedConv2D", "MatMul": "FusedMatMul"}
+
+
+def _single_consumer(graph: Graph, op: Operation) -> Operation | None:
+    """The unique consumer of op's single output, or None."""
+    consumers = [candidate for candidate in graph.operations
+                 for edge in candidate.inputs if edge.op is op]
+    if len(consumers) == 1:
+        return consumers[0]
+    return None
+
+
+def fuse_graph(graph: Graph,
+               protected: set[str] | None = None) -> tuple[Graph, dict]:
+    """Return an optimized copy of ``graph`` with fused operator chains.
+
+    ``protected`` names ops that must survive (e.g. fetched tensors' ops).
+    The returned report maps each fused op name to the original chain.
+    """
+    protected = protected or set()
+    clone, mapping = copy_graph(graph)
+    report: dict[str, list[str]] = {}
+    consumed: set[str] = set()
+
+    for op in list(clone.operations):
+        fused_type = _FUSABLE_HEADS.get(op.type)
+        if fused_type is None or op.name in consumed:
+            continue
+        chain = [op]
+        cursor = op
+        # try to absorb BiasAdd
+        nxt = _single_consumer(clone, cursor)
+        has_bias = False
+        if (nxt is not None and nxt.type == "BiasAdd"
+                and nxt.inputs[0].op is cursor and nxt.name not in protected
+                and cursor.name not in protected):
+            chain.append(nxt)
+            cursor = nxt
+            has_bias = True
+        # try to absorb Relu
+        nxt = _single_consumer(clone, cursor)
+        has_relu = False
+        if (nxt is not None and nxt.type == "Relu"
+                and cursor.name not in protected
+                and nxt.name not in protected):
+            chain.append(nxt)
+            cursor = nxt
+            has_relu = True
+        if len(chain) == 1:
+            continue
+
+        head = chain[0]
+        attrs = {
+            "strides": head.attrs.get("strides", (1, 1)),
+            "padding": head.attrs.get("padding", (0, 0)),
+            "transpose_a": head.attrs.get("transpose_a", False),
+            "transpose_b": head.attrs.get("transpose_b", False),
+            "has_bias": has_bias,
+            "has_relu": has_relu,
+        }
+        inputs = list(head.inputs)
+        if has_bias:
+            inputs.append(chain[1].inputs[1])
+        clone._internal_mutation = True
+        try:
+            fused = clone.add_op(fused_type, inputs, attrs,
+                                 name=f"{head.name}_fused")
+        finally:
+            clone._internal_mutation = False
+        fused.tags["fused_from"] = [link.type for link in chain]
+        fused.tags["fused_names"] = [link.name for link in chain]
+        report[fused.name] = [link.type for link in chain]
+
+        # rewire consumers of the chain tail to the fused op
+        tail_output = cursor.outputs[0]
+        for candidate in clone.operations:
+            if candidate is fused:
+                continue
+            for index, edge in enumerate(candidate.inputs):
+                if edge is tail_output:
+                    candidate.inputs[index] = fused.outputs[0]
+        for link in chain:
+            consumed.add(link.name)
+        clone.version += 1
+
+    # drop the now-dead chain ops (no consumers, not protected)
+    survivors = []
+    for op in clone.operations:
+        if op.name in consumed and op.name not in protected:
+            still_used = any(edge.op is op for candidate in clone.operations
+                             if candidate.name not in consumed
+                             for edge in candidate.inputs)
+            if not still_used:
+                continue
+        survivors.append(op)
+    # restore topological order (fused ops were appended after their
+    # consumers were rewired to them)
+    ordered: list[Operation] = []
+    visited: set[str] = set()
+
+    def visit(op: Operation) -> None:
+        if op.name in visited:
+            return
+        visited.add(op.name)
+        for edge in op.inputs:
+            visit(edge.op)
+        for dep in op.control_inputs:
+            visit(dep)
+        ordered.append(op)
+
+    for op in survivors:
+        visit(op)
+    clone.operations = [op for op in ordered
+                        if op.name in {s.name for s in survivors}]
+    clone._by_name = {op.name: op for op in clone.operations}
+    clone.version += 1
+    return clone, report
+
+
+def fusion_report(report: dict) -> str:
+    lines = [f"{name}: {' + '.join(chain)}" for name, chain in report.items()]
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Backward-graph construction for the graph backend (``tf.gradients`` analog).
+
+``gradients(y, xs)`` appends backward operators to the graph and returns the
+gradient tensors.  Every newly created backward op records the forward op it
+differentiates in ``op.forward_op`` — the forward/backward operator mapping
+Amanda's instrumentation contexts rely on (Fig. 5).  When a forward tensor has
+several consumers, contributions are combined with an explicit ``AddN`` op
+(gradient accumulation, one of the instrumentation points module-level
+approaches miss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GRAD, register_compute
+from .core import Graph, GraphTensor, Operation
+
+__all__ = ["gradients"]
+
+_NONDIFF_SOURCES = {"Placeholder", "Const", "Variable"}
+
+
+@register_compute("OnesLike")
+def _compute_ones_like(op, inputs, runtime):
+    return (np.ones_like(np.asarray(inputs[0])),)
+
+
+def _ancestor_ops(tensor: GraphTensor) -> set[str]:
+    seen: set[str] = set()
+    stack = [tensor.op]
+    while stack:
+        op = stack.pop()
+        if op.name in seen:
+            continue
+        seen.add(op.name)
+        for edge in op.inputs:
+            stack.append(edge.op)
+    return seen
+
+
+def _descendant_ops(graph: Graph, sources: set[str]) -> set[str]:
+    """Ops whose output transitively depends on any op in ``sources``."""
+    result = set(sources)
+    # creation order is a topological order in an append-only graph
+    for op in graph.operations:
+        if op.name in result:
+            continue
+        if any(edge.op.name in result for edge in op.inputs):
+            result.add(op.name)
+    return result
+
+
+def gradients(y: GraphTensor, xs: list[GraphTensor],
+              grad_y: GraphTensor | None = None) -> list[GraphTensor | None]:
+    """Build backward ops for ``d y / d x`` for every ``x`` in ``xs``."""
+    graph = y.graph
+    if grad_y is None:
+        grad_y = graph.add_op("OnesLike", [y], name="gradients/OnesLike").outputs[0]
+        grad_y.op.forward_op = y.op
+
+    relevant = _ancestor_ops(y) & _descendant_ops(
+        graph, {x.op.name for x in xs})
+
+    # accumulated gradient contributions per forward tensor name
+    pending: dict[str, list[GraphTensor]] = {y.name: [grad_y]}
+    resolved: dict[str, GraphTensor] = {}
+
+    def resolve(tensor: GraphTensor) -> GraphTensor | None:
+        if tensor.name in resolved:
+            return resolved[tensor.name]
+        contributions = pending.get(tensor.name)
+        if not contributions:
+            return None
+        if len(contributions) == 1:
+            grad = contributions[0]
+        else:
+            add_n = graph.add_op("AddN", contributions,
+                                 name=f"gradients/AddN_{tensor.op.name}")
+            add_n.forward_op = tensor.op
+            grad = add_n.outputs[0]
+        resolved[tensor.name] = grad
+        return grad
+
+    forward_ops = [op for op in graph.operations if op.name in relevant]
+    for op in reversed(forward_ops):
+        if op.type in _NONDIFF_SOURCES:
+            continue
+        grad_fn = GRAD.get(op.type)
+        if grad_fn is None:
+            continue
+        grad_outputs = [resolve(out) for out in op.outputs]
+        if all(g is None for g in grad_outputs):
+            continue
+        before = len(graph.operations)
+        input_grads = grad_fn(op, grad_outputs)
+        for new_op in graph.operations[before:]:
+            if new_op.forward_op is None:
+                new_op.forward_op = op
+        for edge, grad in zip(op.inputs, input_grads):
+            if grad is None or edge.op.name not in relevant:
+                continue
+            pending.setdefault(edge.name, []).append(grad)
+
+    return [resolve(x) for x in xs]

@@ -1,0 +1,72 @@
+"""Graph-mode training: optimizers built from assign ops (tf.train analog)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import builder
+from .core import Graph, GraphTensor, Operation
+from .gradients import gradients
+
+__all__ = ["GradientDescentOptimizer", "MomentumOptimizer",
+           "trainable_variables"]
+
+
+def trainable_variables(graph: Graph) -> list[GraphTensor]:
+    return [op.outputs[0] for op in graph.operations
+            if op.type == "Variable" and op.attrs.get("trainable", True)]
+
+
+class GradientDescentOptimizer:
+    """Builds a train op: grads via backward graph + AssignSub updates."""
+
+    def __init__(self, learning_rate: float) -> None:
+        self.learning_rate = learning_rate
+
+    def minimize(self, loss: GraphTensor,
+                 var_list: list[GraphTensor] | None = None) -> Operation:
+        graph = loss.graph
+        variables = var_list or trainable_variables(graph)
+        grads = gradients(loss, variables)
+        lr = builder.constant(self.learning_rate, name="learning_rate",
+                              graph=graph)
+        updates = []
+        for var, grad in zip(variables, grads):
+            if grad is None:
+                continue
+            scaled = graph.add_op("Mul", [grad, lr]).outputs[0]
+            updates.append(builder.assign_sub(var, scaled))
+        return builder.group(updates, name="train_op", graph=graph)
+
+
+class MomentumOptimizer:
+    """SGD with momentum, built from graph ops and velocity variables."""
+
+    def __init__(self, learning_rate: float, momentum: float = 0.9) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+
+    def minimize(self, loss: GraphTensor,
+                 var_list: list[GraphTensor] | None = None) -> Operation:
+        graph = loss.graph
+        variables = var_list or trainable_variables(graph)
+        grads = gradients(loss, variables)
+        lr = builder.constant(self.learning_rate, name="learning_rate",
+                              graph=graph)
+        mu = builder.constant(self.momentum, name="momentum", graph=graph)
+        updates = []
+        for var, grad in zip(variables, grads):
+            if grad is None:
+                continue
+            velocity = builder.variable(
+                np.zeros_like(graph.variables.read(var.op.name)),
+                name=f"{var.op.name}/velocity", trainable=False, graph=graph)
+            # v <- mu * v + grad;  w <- w - lr * v
+            scaled_v = graph.add_op("Mul", [velocity, mu]).outputs[0]
+            new_v = graph.add_op("Add", [scaled_v, grad]).outputs[0]
+            assign_v = graph.add_op(
+                "AssignVar", [velocity, new_v],
+                {"var_name": velocity.op.name})
+            step = graph.add_op("Mul", [assign_v.outputs[0], lr]).outputs[0]
+            updates.append(builder.assign_sub(var, step))
+        return builder.group(updates, name="train_op", graph=graph)

@@ -1,0 +1,129 @@
+"""Internal graph-rewriting API used by the Amanda graph driver.
+
+TensorFlow graphs are append-only for users; the rewriting below uses the
+internal mutation escape hatch, mirroring how the paper's graph driver
+"retrieves the computation graph from the backend runtime and replaces it with
+the modified version" (Sec. 5.3).  The rewriter always works on a *copy* so
+the vanilla graph instance stays pristine for graph switching.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+from .builder import py_call
+from .core import Graph, GraphTensor, Operation
+
+__all__ = ["copy_graph", "GraphRewriter"]
+
+
+@contextmanager
+def _internal(graph: Graph):
+    graph._internal_mutation = True
+    try:
+        yield
+    finally:
+        graph._internal_mutation = False
+
+
+def copy_graph(graph: Graph) -> tuple[Graph, dict[str, Operation]]:
+    """Deep-copy the graph structure; variable values stay shared.
+
+    Returns the copy and a mapping from original op name to copied op.
+    """
+    clone = Graph(variable_store=graph.variables)
+    mapping: dict[str, Operation] = {}
+    with _internal(clone):
+        for op in graph.operations:
+            inputs = [mapping[e.op.name].outputs[e.index] for e in op.inputs]
+            controls = [mapping[c.name] for c in op.control_inputs]
+            new = clone.add_op(op.type, inputs, dict(op.attrs), name=op.name,
+                               num_outputs=len(op.outputs),
+                               control_inputs=controls)
+            new.forward_op = (mapping[op.forward_op.name]
+                              if op.forward_op is not None else None)
+            new.op_id = op.op_id
+            new.tags = dict(op.tags)
+            mapping[op.name] = new
+    return clone, mapping
+
+
+class GraphRewriter:
+    """Edits an instrumented graph copy: insert, replace, rewire."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def _consumers(self, tensor: GraphTensor,
+                   exclude: Operation | None = None) -> list[tuple[Operation, int]]:
+        found = []
+        for op in self.graph.operations:
+            if op is exclude:
+                continue
+            for index, edge in enumerate(op.inputs):
+                if edge is tensor:
+                    found.append((op, index))
+        return found
+
+    def insert_before_input(self, op: Operation, input_index: int,
+                            func: Callable, name: str = "PyCall",
+                            tags: dict | None = None) -> Operation:
+        """Route ``op``'s ``input_index``-th input through a PyCall node."""
+        return self.insert_before_inputs(op, (input_index,), func, name, tags)
+
+    def insert_before_inputs(self, op: Operation, input_indices,
+                             func: Callable, name: str = "PyCall",
+                             tags: dict | None = None) -> Operation:
+        """Route several inputs of ``op`` through one PyCall node.
+
+        ``func`` receives the selected input arrays together and must return
+        as many outputs (a single array when one index is selected).
+        """
+        indices = tuple(input_indices)
+        originals = [op.inputs[i] for i in indices]
+        with _internal(self.graph):
+            node = py_call(func, originals, num_outputs=len(indices), name=name)
+        node.tags.update(tags or {})
+        for position, input_index in enumerate(indices):
+            op.inputs[input_index] = node.outputs[position]
+        self.graph.version += 1
+        return node
+
+    def insert_after_output(self, op: Operation, output_index: int,
+                            func: Callable, name: str = "PyCall",
+                            tags: dict | None = None) -> Operation:
+        """Route all consumers of an output through a PyCall node."""
+        return self.insert_after_outputs(op, (output_index,), func, name, tags)
+
+    def insert_after_outputs(self, op: Operation, output_indices,
+                             func: Callable, name: str = "PyCall",
+                             tags: dict | None = None) -> Operation:
+        """Route all consumers of several outputs through one PyCall node."""
+        indices = tuple(output_indices)
+        tensors = [op.outputs[i] for i in indices]
+        with _internal(self.graph):
+            node = py_call(func, tensors, num_outputs=len(indices), name=name)
+        node.tags.update(tags or {})
+        for position, tensor in enumerate(tensors):
+            for consumer, index in self._consumers(tensor, exclude=node):
+                consumer.inputs[index] = node.outputs[position]
+        self.graph.version += 1
+        return node
+
+    def replace_op(self, op: Operation, func: Callable,
+                   name: str = "PyCall", tags: dict | None = None) -> Operation:
+        """Replace ``op``'s computation with a python callback.
+
+        The callback receives the op's input arrays and must return as many
+        outputs as the original op produced.
+        """
+        with _internal(self.graph):
+            node = py_call(func, list(op.inputs),
+                           num_outputs=len(op.outputs), name=name)
+        node.tags.update(tags or {})
+        for out_index, tensor in enumerate(op.outputs):
+            for consumer, index in self._consumers(tensor, exclude=node):
+                consumer.inputs[index] = node.outputs[out_index]
+        self.graph.version += 1
+        return node

@@ -1,0 +1,180 @@
+"""Graph execution: Session, execution plans, and session hooks.
+
+``Session.run(fetches, feed_dict)`` compiles (and caches) an execution plan —
+the dependency closure of the fetches in topological order — then evaluates it
+with the runtime compute functions.  Mirrors the TF-1 details the paper leans
+on:
+
+* the graph *finalizes* on first submission (user mutations then raise);
+* :class:`SessionRunHook` offers the ``before_run``/``after_run`` interface —
+  the session-hook instrumentation baseline, which can only attach extra
+  fetches, not rewrite the graph;
+* the Amanda graph driver intercepts ``Session.run`` via the class-level
+  ``run_interceptor`` seam to swap in an instrumented graph (graph switching,
+  Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..eager import alloc
+from ..kernels.runtime import runtime as kernel_runtime
+from .builder import COMPUTE
+from .core import Graph, GraphTensor, Operation, VariableStore
+
+__all__ = ["Session", "SessionRunHook", "RunContext"]
+
+
+class SessionRunHook:
+    """TF-style session hook: observe runs and request extra fetches."""
+
+    def before_run(self, run_context: "RunContext"):
+        """Return extra fetches (list of GraphTensor) or None."""
+        return None
+
+    def after_run(self, run_context: "RunContext", run_values) -> None:
+        pass
+
+
+@dataclass
+class RunContext:
+    session: "Session"
+    fetches: list
+    feed_dict: dict
+    extra_results: dict = field(default_factory=dict)
+
+
+class _Runtime:
+    """Per-run evaluation state handed to compute functions."""
+
+    def __init__(self, feeds: dict[str, np.ndarray], variables: VariableStore):
+        self.feeds = feeds
+        self.variables = variables
+
+
+class Session:
+    """Executes a graph; holds the plan cache and registered hooks."""
+
+    #: class-level interception seam used by the Amanda graph driver:
+    #: ``run_interceptor(session, fetches, feed_dict, run_impl) -> results``
+    run_interceptor: Callable | None = None
+
+    def __init__(self, graph: Graph, hooks: list[SessionRunHook] | None = None):
+        self.graph = graph
+        self.hooks: list[SessionRunHook] = list(hooks or [])
+        self._plan_cache: dict[tuple, list[Operation]] = {}
+        self.run_count = 0
+        self.last_run_seconds = 0.0
+
+    def add_hook(self, hook: SessionRunHook) -> None:
+        self.hooks.append(hook)
+
+    # -- public entry ---------------------------------------------------------
+    def run(self, fetches, feed_dict: dict | None = None):
+        if not self.graph.finalized:
+            self.graph.finalize()
+        single = not isinstance(fetches, (list, tuple))
+        fetch_list = [fetches] if single else list(fetches)
+        feed = self._normalize_feed(feed_dict or {})
+
+        context = RunContext(self, fetch_list, feed)
+        extra: list[GraphTensor] = []
+        for hook in self.hooks:
+            requested = hook.before_run(context)
+            if requested:
+                extra.extend(requested)
+
+        all_fetches = fetch_list + extra
+        if Session.run_interceptor is not None:
+            results = Session.run_interceptor(self, all_fetches, feed,
+                                              self._run_impl)
+        else:
+            results = self._run_impl(self.graph, all_fetches, feed)
+
+        main = results[:len(fetch_list)]
+        if extra:
+            context.extra_results = dict(zip((t.name for t in extra),
+                                             results[len(fetch_list):]))
+        for hook in self.hooks:
+            hook.after_run(context, main)
+        self.run_count += 1
+        return main[0] if single else main
+
+    # -- execution ------------------------------------------------------------
+    def _normalize_feed(self, feed_dict: dict) -> dict[str, np.ndarray]:
+        feed: dict[str, np.ndarray] = {}
+        for key, value in feed_dict.items():
+            name = key.op.name if isinstance(key, GraphTensor) else str(key)
+            arr = np.asarray(value)
+            if np.issubdtype(arr.dtype, np.floating):
+                arr = arr.astype(np.float64)
+            feed[name] = arr
+        return feed
+
+    def _plan(self, graph: Graph, fetch_ops: tuple[str, ...]) -> list[Operation]:
+        key = graph.fingerprint() + (fetch_ops,)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        # Depth-first topological sort over data and control dependencies.
+        # (Creation order is not sufficient: the rewriter may append a node
+        # that earlier ops were rewired to consume.)
+        plan: list[Operation] = []
+        visited: set[str] = set()
+        stack: list[tuple[Operation, bool]] = [
+            (graph.get_operation(name), False) for name in fetch_ops]
+        while stack:
+            op, expanded = stack.pop()
+            if expanded:
+                plan.append(op)
+                continue
+            if op.name in visited:
+                continue
+            visited.add(op.name)
+            stack.append((op, True))
+            for edge in op.inputs:
+                if edge.op.name not in visited:
+                    stack.append((edge.op, False))
+            for dep in op.control_inputs:
+                if dep.name not in visited:
+                    stack.append((dep, False))
+        self._plan_cache[key] = plan
+        return plan
+
+    def _run_impl(self, graph: Graph, fetches: list[GraphTensor],
+                  feed: dict[str, np.ndarray]) -> list[np.ndarray]:
+        start = time.perf_counter()
+        plan = self._plan(graph, tuple(t.op.name for t in fetches))
+        runtime = _Runtime(feed, graph.variables)
+        values: dict[str, tuple] = {}
+        allocated: list[tuple[int, str]] = []
+        tag_kernels = kernel_runtime.has_subscribers
+        for op in plan:
+            compute = COMPUTE.get(op.type)
+            if compute is None:
+                raise NotImplementedError(f"no compute for op type {op.type!r}")
+            inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
+            if tag_kernels:
+                kernel_runtime.push_tag(f"{op.type}|{op.name}")
+            try:
+                outputs = compute(op, inputs, runtime)
+            finally:
+                if tag_kernels:
+                    kernel_runtime.pop_tag()
+            values[op.name] = outputs
+            input_ids = {id(v) for v in inputs}
+            nbytes = sum(np.asarray(o).nbytes for o in outputs
+                         if id(o) not in input_ids)  # skip aliased pass-throughs
+            scope = alloc.tracker.allocate(
+                nbytes, scope=op.tags.get("alloc_scope"))
+            allocated.append((nbytes, scope))
+        self.last_run_seconds = time.perf_counter() - start
+        result = [values[t.op.name][t.index] for t in fetches]
+        for nbytes, scope in allocated:
+            alloc.tracker.release(nbytes, scope)
+        return result

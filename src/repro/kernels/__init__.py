@@ -1,0 +1,10 @@
+"""Simulated kernel runtime and shared numeric kernels.
+
+This package is the reproduction's stand-in for the GPU kernel layer
+(cuDNN kernels + the CUPTI profiling interface in the paper, Sec. 6.3).
+"""
+
+from .runtime import KernelEvent, KernelRuntime, launch, runtime
+from . import nn
+
+__all__ = ["KernelEvent", "KernelRuntime", "launch", "runtime", "nn"]

@@ -1,0 +1,5 @@
+"""Model zoos for both execution backends."""
+
+from . import eager, graph
+
+__all__ = ["eager", "graph"]

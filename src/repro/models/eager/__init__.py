@@ -1,0 +1,15 @@
+"""Eager-backend model zoo (paper's evaluated model topologies, scaled down)."""
+
+from .bert import BertForTokenClassification, BertModel, bert_mini
+from .inception import InceptionV3, inception_v3
+from .mobilenet import MobileNetV2, mobilenet_v2
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet34, resnet50
+from .small import LeNet, MLP
+from .vgg import VGG, vgg11, vgg16, vgg19
+
+__all__ = [
+    "MLP", "LeNet", "VGG", "vgg11", "vgg16", "vgg19",
+    "ResNet", "BasicBlock", "Bottleneck", "resnet18", "resnet34", "resnet50",
+    "MobileNetV2", "mobilenet_v2", "InceptionV3", "inception_v3",
+    "BertModel", "BertForTokenClassification", "bert_mini",
+]

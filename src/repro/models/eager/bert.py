@@ -1,0 +1,87 @@
+"""BERT-style transformer encoder on the eager backend.
+
+The attention math lives in functional ops (reshape/transpose/matmul/softmax)
+inside :class:`~repro.eager.layers.MultiheadAttention` — the model where
+module hooks miss the most operators (over 100 forward ops in the paper's
+Fig. 9).  Defaults are a miniature configuration; depth/heads are parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (Dropout, Embedding, GELU, LayerNorm, Linear, Module,
+                      ModuleList, MultiheadAttention, Sequential, Tensor)
+from ...eager import functional as F
+
+__all__ = ["BertModel", "BertForTokenClassification", "bert_mini"]
+
+
+class TransformerBlock(Module):
+    def __init__(self, hidden: int, heads: int, intermediate: int,
+                 dropout: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.attention = MultiheadAttention(hidden, heads, rng=rng)
+        self.attention_norm = LayerNorm(hidden)
+        self.intermediate = Linear(hidden, intermediate, rng=rng)
+        self.output = Linear(intermediate, hidden, rng=rng)
+        self.output_norm = LayerNorm(hidden)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x):
+        attended = self.attention(x)
+        x = self.attention_norm(attended + x)  # functional residual
+        inner = F.gelu(self.intermediate(x))
+        x = self.output_norm(self.dropout(self.output(inner)) + x)
+        return x
+
+
+class BertModel(Module):
+    def __init__(self, vocab: int = 32, hidden: int = 16, layers: int = 2,
+                 heads: int = 2, intermediate: int = 32, max_len: int = 32,
+                 dropout: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.token_embedding = Embedding(vocab, hidden, rng=rng)
+        self.position_embedding = Embedding(max_len, hidden, rng=rng)
+        self.embedding_norm = LayerNorm(hidden)
+        self.blocks = ModuleList([
+            TransformerBlock(hidden, heads, intermediate, dropout, rng=rng)
+            for _ in range(layers)
+        ])
+
+    def forward(self, tokens):
+        tokens = tokens if isinstance(tokens, Tensor) else Tensor(tokens)
+        seq_len = tokens.shape[-1]
+        positions = Tensor(np.arange(seq_len))
+        x = self.token_embedding(tokens) + self.position_embedding(positions)
+        x = self.embedding_norm(x)
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+class BertForTokenClassification(Module):
+    """BERT encoder + per-token classifier (the QA-position stand-in head)."""
+
+    def __init__(self, num_labels: int = 2, **kwargs) -> None:
+        super().__init__()
+        rng = kwargs.pop("rng", None) or np.random.default_rng(0)
+        self.bert = BertModel(rng=rng, **kwargs)
+        hidden = self.bert.token_embedding.embedding_dim
+        self.classifier = Linear(hidden, num_labels, rng=rng)
+
+    def forward(self, tokens):
+        encoded = self.bert(tokens)
+        return self.classifier(encoded)
+
+    def span_logits(self, tokens):
+        """Per-position score that this token is the answer trigger."""
+        logits = self.forward(tokens)
+        return logits[:, :, 0]
+
+
+def bert_mini(**kwargs) -> BertForTokenClassification:
+    return BertForTokenClassification(**kwargs)

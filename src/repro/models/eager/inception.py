@@ -1,0 +1,89 @@
+"""Inception-v3-style network on the eager backend.
+
+Multi-branch inception blocks joined by functional ``concat`` — the model the
+paper singles out for the highest graph-mode overhead because of its many
+operators.  Branch composition (1x1 / 5x5 / double-3x3 / pooled-1x1) follows
+Inception-A; the stem and depth are reduced, the branching structure is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d,
+                      Flatten, Linear, MaxPool2d, Module, ReLU, Sequential)
+from ...eager import functional as F
+
+__all__ = ["InceptionV3", "inception_v3"]
+
+
+class ConvBnRelu(Module):
+    def __init__(self, in_channels, out_channels, kernel, padding=0, stride=1,
+                 rng=None) -> None:
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, kernel, stride=stride,
+                           padding=padding, bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x):
+        return F.relu(self.bn(self.conv(x)))
+
+
+class InceptionBlock(Module):
+    """Inception-A block: four parallel branches concatenated channel-wise."""
+
+    def __init__(self, in_channels: int, width: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.branch1x1 = ConvBnRelu(in_channels, width, 1, rng=rng)
+        self.branch5x5 = Sequential(
+            ConvBnRelu(in_channels, width, 1, rng=rng),
+            ConvBnRelu(width, width, 5, padding=2, rng=rng),
+        )
+        self.branch3x3dbl = Sequential(
+            ConvBnRelu(in_channels, width, 1, rng=rng),
+            ConvBnRelu(width, width, 3, padding=1, rng=rng),
+            ConvBnRelu(width, width, 3, padding=1, rng=rng),
+        )
+        self.branch_pool = ConvBnRelu(in_channels, width, 1, rng=rng)
+        self.pool = AvgPool2d(3, stride=1, padding=1)
+        self.out_channels = 4 * width
+
+    def forward(self, x):
+        branches = [
+            self.branch1x1(x),
+            self.branch5x5(x),
+            self.branch3x3dbl(x),
+            self.branch_pool(self.pool(x)),
+        ]
+        return F.concat(branches, axis=1)  # functional concat
+
+
+class InceptionV3(Module):
+    def __init__(self, num_classes: int = 4, in_channels: int = 3,
+                 width: int = 4, blocks: int = 3,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.stem = Sequential(
+            ConvBnRelu(in_channels, width * 2, 3, padding=1, rng=rng),
+            ConvBnRelu(width * 2, width * 2, 3, padding=1, rng=rng),
+            MaxPool2d(2),
+        )
+        channels = width * 2
+        stages: list[Module] = []
+        for _ in range(blocks):
+            block = InceptionBlock(channels, width, rng=rng)
+            stages.append(block)
+            channels = block.out_channels
+        self.blocks = Sequential(*stages)
+        self.pool = AdaptiveAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.fc(self.flatten(self.pool(self.blocks(self.stem(x)))))
+
+
+def inception_v3(**kwargs) -> InceptionV3:
+    return InceptionV3(**kwargs)

@@ -1,0 +1,91 @@
+"""MobileNetV2 (Sandler et al.) on the eager backend.
+
+Inverted residual blocks with functional skip connections.  Depthwise
+convolutions are modelled as grouped 3x3 convs realized with per-channel
+convolutions fused into one standard conv for simplicity of the numeric
+substrate; the block/op structure (expand 1x1 -> depthwise 3x3 -> project
+1x1, residual add when stride 1 and shapes match) follows the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear,
+                      Module, ReLU, Sequential)
+from ...eager import functional as F
+
+__all__ = ["MobileNetV2", "mobilenet_v2"]
+
+
+class InvertedResidual(Module):
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 expand_ratio: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        hidden = max(2, in_channels * expand_ratio)
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers: list[Module] = []
+        if expand_ratio != 1:
+            layers += [Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                       BatchNorm2d(hidden), ReLU()]
+        layers += [
+            Conv2d(hidden, hidden, 3, stride=stride, padding=1, bias=False,
+                   rng=rng),
+            BatchNorm2d(hidden), ReLU(),
+            Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+        ]
+        self.block = Sequential(*layers)
+
+    def forward(self, x):
+        out = self.block(x)
+        if self.use_residual:
+            return out + x  # functional skip connection
+        return out
+
+
+#: (expand_ratio, channels, repeats, stride) — the original V2 schedule
+_SCHEDULE = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+class MobileNetV2(Module):
+    def __init__(self, num_classes: int = 4, in_channels: int = 3,
+                 width_mult: float = 0.125,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        channels = max(2, int(32 * width_mult))
+        features: list[Module] = [
+            Conv2d(in_channels, channels, 3, stride=1, padding=1, bias=False,
+                   rng=rng),
+            BatchNorm2d(channels), ReLU(),
+        ]
+        for expand, base, repeats, stride in _SCHEDULE:
+            out_channels = max(2, int(base * width_mult))
+            for i in range(repeats):
+                features.append(InvertedResidual(
+                    channels, out_channels, stride if i == 0 else 1,
+                    expand, rng=rng))
+                channels = out_channels
+        last = max(4, int(1280 * width_mult / 4))
+        features += [Conv2d(channels, last, 1, bias=False, rng=rng),
+                     BatchNorm2d(last), ReLU()]
+        self.features = Sequential(*features)
+        self.pool = AdaptiveAvgPool2d()
+        self.flatten = Flatten()
+        self.classifier = Linear(last, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.classifier(self.flatten(self.pool(self.features(x))))
+
+
+def mobilenet_v2(**kwargs) -> MobileNetV2:
+    return MobileNetV2(**kwargs)

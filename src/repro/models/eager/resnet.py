@@ -1,0 +1,116 @@
+"""ResNet family (He et al.) on the eager backend.
+
+The residual skip connections use the *functional* add (``identity + out``),
+exactly the operators PyTorch module hooks miss (Sec. 6.4) — keep it that way
+or the Fig. 9 reproduction loses its point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear,
+                      MaxPool2d, Module, ReLU, Sequential)
+from ...eager import functional as F
+
+__all__ = ["ResNet", "BasicBlock", "Bottleneck", "resnet18", "resnet34",
+           "resnet50"]
+
+
+class BasicBlock(Module):
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, channels, 3, stride=stride,
+                            padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.downsample = None
+        if stride != 1 or in_channels != channels * self.expansion:
+            self.downsample = Sequential(
+                Conv2d(in_channels, channels * self.expansion, 1,
+                       stride=stride, bias=False, rng=rng),
+                BatchNorm2d(channels * self.expansion),
+            )
+
+    def forward(self, x):
+        identity = x if self.downsample is None else self.downsample(x)
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + identity)  # functional skip connection
+
+
+class Bottleneck(Module):
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.conv3 = Conv2d(channels, channels * self.expansion, 1,
+                            bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(channels * self.expansion)
+        self.downsample = None
+        if stride != 1 or in_channels != channels * self.expansion:
+            self.downsample = Sequential(
+                Conv2d(in_channels, channels * self.expansion, 1,
+                       stride=stride, bias=False, rng=rng),
+                BatchNorm2d(channels * self.expansion),
+            )
+
+    def forward(self, x):
+        identity = x if self.downsample is None else self.downsample(x)
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + identity)
+
+
+class ResNet(Module):
+    def __init__(self, block, layers: list[int], num_classes: int = 4,
+                 in_channels: int = 3, width: int = 4,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_planes = width
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.maxpool = MaxPool2d(2)
+        self.layer1 = self._make_layer(block, width, layers[0], 1, rng)
+        self.layer2 = self._make_layer(block, width * 2, layers[1], 2, rng)
+        self.layer3 = self._make_layer(block, width * 4, layers[2], 2, rng)
+        self.layer4 = self._make_layer(block, width * 8, layers[3], 2, rng)
+        self.avgpool = AdaptiveAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = Linear(width * 8 * block.expansion, num_classes, rng=rng)
+
+    def _make_layer(self, block, channels, count, stride, rng) -> Sequential:
+        blocks = [block(self.in_planes, channels, stride, rng=rng)]
+        self.in_planes = channels * block.expansion
+        for _ in range(1, count):
+            blocks.append(block(self.in_planes, channels, rng=rng))
+        return Sequential(*blocks)
+
+    def forward(self, x):
+        x = self.maxpool(F.relu(self.bn1(self.conv1(x))))
+        x = self.layer4(self.layer3(self.layer2(self.layer1(x))))
+        return self.fc(self.flatten(self.avgpool(x)))
+
+
+def resnet18(**kwargs) -> ResNet:
+    return ResNet(BasicBlock, [2, 2, 2, 2], **kwargs)
+
+
+def resnet34(**kwargs) -> ResNet:
+    return ResNet(BasicBlock, [3, 4, 6, 3], **kwargs)
+
+
+def resnet50(**kwargs) -> ResNet:
+    return ResNet(Bottleneck, [3, 4, 6, 3], **kwargs)

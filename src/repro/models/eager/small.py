@@ -1,0 +1,49 @@
+"""Small reference models: MLP and LeNet (quickstart / unit-test workhorses)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU,
+                      Sequential)
+
+__all__ = ["MLP", "LeNet"]
+
+
+class MLP(Module):
+    def __init__(self, in_features: int = 16, hidden: int = 32,
+                 num_classes: int = 4, depth: int = 2,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = [Linear(in_features, hidden, rng=rng), ReLU()]
+        for _ in range(depth - 1):
+            layers += [Linear(hidden, hidden, rng=rng), ReLU()]
+        layers.append(Linear(hidden, num_classes, rng=rng))
+        self.layers = Sequential(*layers)
+
+    def forward(self, x):
+        return self.layers(x)
+
+
+class LeNet(Module):
+    def __init__(self, num_classes: int = 4, in_channels: int = 3,
+                 input_size: int = 16,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.features = Sequential(
+            Conv2d(in_channels, 6, 5, padding=2, rng=rng), ReLU(),
+            MaxPool2d(2),
+            Conv2d(6, 16, 5, padding=2, rng=rng), ReLU(),
+            MaxPool2d(2),
+        )
+        spatial = input_size // 4
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(16 * spatial * spatial, 32, rng=rng), ReLU(),
+            Linear(32, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))

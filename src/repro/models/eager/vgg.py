@@ -1,0 +1,71 @@
+"""VGG family (Simonyan & Zisserman) on the eager backend.
+
+True VGG layer configurations at a configurable width multiplier — the op
+*structure* (13/16/19 conv layers, pooling schedule, 3 FC layers) matches the
+original, which is what the coverage/overhead experiments depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...eager import (Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU,
+                      Sequential)
+
+__all__ = ["VGG", "vgg11", "vgg16", "vgg19"]
+
+_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    def __init__(self, config: str = "vgg16", num_classes: int = 4,
+                 in_channels: int = 3, width_mult: float = 0.0625,
+                 input_size: int = 16,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        channels = in_channels
+        pools = 0
+        for item in _CONFIGS[config]:
+            if item == "M":
+                if input_size // (2 ** (pools + 1)) >= 1:
+                    layers.append(MaxPool2d(2))
+                    pools += 1
+                continue
+            out_channels = max(2, int(item * width_mult))
+            layers.append(Conv2d(channels, out_channels, 3, padding=1, rng=rng))
+            layers.append(ReLU())
+            channels = out_channels
+        self.features = Sequential(*layers)
+        spatial = max(1, input_size // (2 ** pools))
+        hidden = max(8, int(4096 * width_mult / 16))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(channels * spatial * spatial, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+
+def vgg11(**kwargs) -> VGG:
+    return VGG("vgg11", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    return VGG("vgg16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    return VGG("vgg19", **kwargs)

@@ -1,0 +1,7 @@
+"""Graph-backend model zoo."""
+
+from .builders import (GraphModel, build_bert, build_inception_v3, build_mlp,
+                       build_mobilenet_v2, build_resnet, build_vgg)
+
+__all__ = ["GraphModel", "build_mlp", "build_vgg", "build_resnet",
+           "build_mobilenet_v2", "build_inception_v3", "build_bert"]

@@ -1,0 +1,319 @@
+"""Graph-backend model zoo (TF-1-style builder functions).
+
+Each builder constructs the same topology as its eager counterpart, in NHWC
+with TF-style op types, and returns a :class:`GraphModel` bundling the graph,
+placeholders, logits/loss tensors and (optionally) a train op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...graph import Graph, GraphTensor, Session, default_graph, optim
+from ...graph import builder as gb
+
+__all__ = ["GraphModel", "build_mlp", "build_vgg", "build_resnet",
+           "build_mobilenet_v2", "build_inception_v3", "build_bert"]
+
+
+@dataclass
+class GraphModel:
+    graph: Graph
+    inputs: GraphTensor
+    labels: GraphTensor
+    logits: GraphTensor
+    loss: GraphTensor
+    train_op: GraphTensor | None = None
+    meta: dict = field(default_factory=dict)
+
+    def session(self) -> Session:
+        return Session(self.graph)
+
+
+class _Builder:
+    """Shared variable-construction helpers."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._counter = 0
+
+    def _name(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}_{self._counter}"
+
+    def conv(self, x, in_c, out_c, k=3, stride=1, padding=None, bias=True):
+        padding = k // 2 if padding is None else padding
+        scale = 1.0 / np.sqrt(in_c * k * k)
+        w = gb.variable(self.rng.uniform(-scale, scale, (k, k, in_c, out_c)),
+                        name=self._name("conv_w"))
+        out = gb.conv2d(x, w, (stride, stride), (padding, padding))
+        if bias:
+            b = gb.variable(np.zeros(out_c), name=self._name("conv_b"))
+            out = gb.bias_add(out, b)
+        return out
+
+    def dense(self, x, in_f, out_f, bias=True):
+        scale = 1.0 / np.sqrt(in_f)
+        w = gb.variable(self.rng.uniform(-scale, scale, (in_f, out_f)),
+                        name=self._name("fc_w"))
+        out = gb.matmul(x, w)
+        if bias:
+            b = gb.variable(np.zeros(out_f), name=self._name("fc_b"))
+            out = gb.bias_add(out, b)
+        return out
+
+    def batch_norm(self, x, channels, training=True):
+        gamma = gb.variable(np.ones(channels), name=self._name("bn_gamma"))
+        beta = gb.variable(np.zeros(channels), name=self._name("bn_beta"))
+        graph = x.graph
+        rm = self._name("bn_mean")
+        rv = self._name("bn_var")
+        graph.variables.create(rm, np.zeros(channels))
+        graph.variables.create(rv, np.ones(channels))
+        return gb.fused_batch_norm(x, gamma, beta, rm, rv, training=training)
+
+    def layer_norm(self, x, dim):
+        gamma = gb.variable(np.ones(dim), name=self._name("ln_gamma"))
+        beta = gb.variable(np.zeros(dim), name=self._name("ln_beta"))
+        return gb.layer_norm(x, gamma, beta)
+
+    def conv_bn_relu(self, x, in_c, out_c, k=3, stride=1, training=True):
+        out = self.conv(x, in_c, out_c, k, stride, bias=False)
+        out = self.batch_norm(out, out_c, training)
+        return gb.relu(out)
+
+
+def _finish(graph, x, labels, logits, learning_rate, meta=None) -> GraphModel:
+    loss = gb.sparse_softmax_cross_entropy(logits, labels)
+    train_op = None
+    if learning_rate is not None:
+        opt = optim.GradientDescentOptimizer(learning_rate)
+        train_op = opt.minimize(loss).outputs[0]
+    return GraphModel(graph, x, labels, logits, loss, train_op, meta or {})
+
+
+def build_mlp(in_features: int = 16, hidden: int = 32, num_classes: int = 4,
+              depth: int = 2, learning_rate: float | None = 0.1,
+              seed: int = 0) -> GraphModel:
+    rng = np.random.default_rng(seed)
+    with default_graph() as graph:
+        b = _Builder(rng)
+        x = gb.placeholder(name="input")
+        labels = gb.placeholder(name="labels")
+        h = gb.relu(b.dense(x, in_features, hidden))
+        for _ in range(depth - 1):
+            h = gb.relu(b.dense(h, hidden, hidden))
+        logits = b.dense(h, hidden, num_classes)
+        return _finish(graph, x, labels, logits, learning_rate)
+
+
+_VGG_CONFIGS = {
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def build_vgg(config: str = "vgg19", num_classes: int = 4,
+              in_channels: int = 3, width_mult: float = 0.0625,
+              input_size: int = 16, learning_rate: float | None = None,
+              seed: int = 0) -> GraphModel:
+    rng = np.random.default_rng(seed)
+    with default_graph() as graph:
+        b = _Builder(rng)
+        x = gb.placeholder(name="input")  # NHWC
+        labels = gb.placeholder(name="labels")
+        h = x
+        channels = in_channels
+        pools = 0
+        for item in _VGG_CONFIGS[config]:
+            if item == "M":
+                if input_size // (2 ** (pools + 1)) >= 1:
+                    h = gb.max_pool(h, (2, 2))
+                    pools += 1
+                continue
+            out_c = max(2, int(item * width_mult))
+            h = gb.relu(b.conv(h, channels, out_c, 3))
+            channels = out_c
+        spatial = max(1, input_size // (2 ** pools))
+        flat_dim = channels * spatial * spatial
+        h = gb.reshape(h, (-1, flat_dim))
+        hidden = max(8, int(4096 * width_mult / 16))
+        h = gb.relu(b.dense(h, flat_dim, hidden))
+        h = gb.relu(b.dense(h, hidden, hidden))
+        logits = b.dense(h, hidden, num_classes)
+        return _finish(graph, x, labels, logits, learning_rate)
+
+
+def build_resnet(layers=(3, 4, 6, 3), bottleneck: bool = True,
+                 num_classes: int = 4, in_channels: int = 3, width: int = 4,
+                 learning_rate: float | None = None, training: bool = False,
+                 seed: int = 0) -> GraphModel:
+    """ResNet-50 topology by default (bottleneck [3,4,6,3])."""
+    rng = np.random.default_rng(seed)
+    expansion = 4 if bottleneck else 1
+
+    with default_graph() as graph:
+        b = _Builder(rng)
+        x = gb.placeholder(name="input")
+        labels = gb.placeholder(name="labels")
+        h = b.conv_bn_relu(x, in_channels, width, 3, training=training)
+        h = gb.max_pool(h, (2, 2))
+        in_planes = width
+
+        def block(h, in_c, planes, stride):
+            if bottleneck:
+                out = b.conv_bn_relu(h, in_c, planes, 1, training=training)
+                out = b.conv_bn_relu(out, planes, planes, 3, stride,
+                                     training=training)
+                out = b.conv(out, planes, planes * expansion, 1, bias=False)
+                out = b.batch_norm(out, planes * expansion, training)
+            else:
+                out = b.conv_bn_relu(h, in_c, planes, 3, stride,
+                                     training=training)
+                out = b.conv(out, planes, planes * expansion, 3, bias=False)
+                out = b.batch_norm(out, planes * expansion, training)
+            if stride != 1 or in_c != planes * expansion:
+                shortcut = b.conv(h, in_c, planes * expansion, 1, stride,
+                                  padding=0, bias=False)
+                shortcut = b.batch_norm(shortcut, planes * expansion, training)
+            else:
+                shortcut = h
+            return gb.relu(out + shortcut)
+
+        for stage, (count, planes_mult, stride) in enumerate(
+                zip(layers, (1, 2, 4, 8), (1, 2, 2, 2))):
+            planes = width * planes_mult
+            for i in range(count):
+                h = block(h, in_planes, planes, stride if i == 0 else 1)
+                in_planes = planes * expansion
+        h = gb.reduce_mean(h, axis=(1, 2))  # global average pool (NHWC)
+        logits = b.dense(h, in_planes, num_classes)
+        return _finish(graph, x, labels, logits, learning_rate)
+
+
+def build_mobilenet_v2(num_classes: int = 4, in_channels: int = 3,
+                       width_mult: float = 0.125,
+                       learning_rate: float | None = None,
+                       training: bool = False, seed: int = 0) -> GraphModel:
+    rng = np.random.default_rng(seed)
+    schedule = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+                (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+    with default_graph() as graph:
+        b = _Builder(rng)
+        x = gb.placeholder(name="input")
+        labels = gb.placeholder(name="labels")
+        channels = max(2, int(32 * width_mult))
+        h = b.conv_bn_relu(x, in_channels, channels, 3, training=training)
+        for expand, base, repeats, stride in schedule:
+            out_c = max(2, int(base * width_mult))
+            for i in range(repeats):
+                s = stride if i == 0 else 1
+                hidden = max(2, channels * expand)
+                inner = h
+                if expand != 1:
+                    inner = b.conv_bn_relu(inner, channels, hidden, 1,
+                                           training=training)
+                inner = b.conv_bn_relu(inner, hidden, hidden, 3, s,
+                                       training=training)
+                inner = b.conv(inner, hidden, out_c, 1, bias=False)
+                inner = b.batch_norm(inner, out_c, training)
+                if s == 1 and channels == out_c:
+                    h = inner + h
+                else:
+                    h = inner
+                channels = out_c
+        last = max(4, int(1280 * width_mult / 4))
+        h = b.conv_bn_relu(h, channels, last, 1, training=training)
+        h = gb.reduce_mean(h, axis=(1, 2))
+        logits = b.dense(h, last, num_classes)
+        return _finish(graph, x, labels, logits, learning_rate)
+
+
+def build_inception_v3(num_classes: int = 4, in_channels: int = 3,
+                       width: int = 4, blocks: int = 3,
+                       learning_rate: float | None = None,
+                       training: bool = False, seed: int = 0) -> GraphModel:
+    rng = np.random.default_rng(seed)
+    with default_graph() as graph:
+        b = _Builder(rng)
+        x = gb.placeholder(name="input")
+        labels = gb.placeholder(name="labels")
+        h = b.conv_bn_relu(x, in_channels, width * 2, 3, training=training)
+        h = b.conv_bn_relu(h, width * 2, width * 2, 3, training=training)
+        h = gb.max_pool(h, (2, 2))
+        channels = width * 2
+        for _ in range(blocks):
+            branch1 = b.conv_bn_relu(h, channels, width, 1, training=training)
+            branch5 = b.conv_bn_relu(h, channels, width, 1, training=training)
+            branch5 = b.conv_bn_relu(branch5, width, width, 5, training=training)
+            branch3 = b.conv_bn_relu(h, channels, width, 1, training=training)
+            branch3 = b.conv_bn_relu(branch3, width, width, 3, training=training)
+            branch3 = b.conv_bn_relu(branch3, width, width, 3, training=training)
+            pooled = gb.avg_pool(h, (3, 3), (1, 1), (1, 1))
+            branch_pool = b.conv_bn_relu(pooled, channels, width, 1,
+                                         training=training)
+            h = gb.concat([branch1, branch5, branch3, branch_pool], axis=3)
+            channels = 4 * width
+        h = gb.reduce_mean(h, axis=(1, 2))
+        logits = b.dense(h, channels, num_classes)
+        return _finish(graph, x, labels, logits, learning_rate)
+
+
+def build_bert(vocab: int = 32, hidden: int = 16, layers: int = 2,
+               heads: int = 2, intermediate: int = 32, seq_len: int = 16,
+               num_labels: int = 2, learning_rate: float | None = None,
+               seed: int = 0) -> GraphModel:
+    """BERT-mini encoder with per-token classification head."""
+    rng = np.random.default_rng(seed)
+    head_dim = hidden // heads
+    with default_graph() as graph:
+        b = _Builder(rng)
+        tokens = gb.placeholder(name="input")
+        labels = gb.placeholder(name="labels")
+        token_table = gb.variable(rng.standard_normal((vocab, hidden)) * 0.02,
+                                  name="token_embedding")
+        position_table = gb.variable(
+            rng.standard_normal((seq_len, hidden)) * 0.02,
+            name="position_embedding")
+        positions = gb.constant(np.arange(seq_len), name="positions")
+        h = gb.gather(token_table, tokens) + gb.gather(position_table, positions)
+        h = b.layer_norm(h, hidden)
+
+        for _ in range(layers):
+            q = b.dense(h, hidden, hidden)
+            k = b.dense(h, hidden, hidden)
+            v = b.dense(h, hidden, hidden)
+
+            def split(t):
+                t = gb.reshape(t, (-1, seq_len, heads, head_dim))
+                return gb.transpose(t, (0, 2, 1, 3))
+
+            qh, kh, vh = split(q), split(k), split(v)
+            scores = gb.matmul(qh, gb.transpose(kh, (0, 1, 3, 2)))
+            scores = scores * gb.constant(1.0 / np.sqrt(head_dim))
+            weights = gb.softmax(scores)
+            attended = gb.matmul(weights, vh)
+            attended = gb.transpose(attended, (0, 2, 1, 3))
+            attended = gb.reshape(attended, (-1, seq_len, hidden))
+            attended = b.dense(attended, hidden, hidden)
+            h = b.layer_norm(attended + h, hidden)
+            inner = gb.gelu(b.dense(h, hidden, intermediate))
+            h = b.layer_norm(b.dense(inner, intermediate, hidden) + h, hidden)
+
+        logits = b.dense(h, hidden, num_labels)
+        # span scores: per-position score of label 0 -> (batch, seq_len)
+        span = gb.reshape(
+            gb.transpose(logits, (0, 2, 1)), (-1, num_labels, seq_len))
+        span_logits = gb.reshape(span, (-1, num_labels, seq_len))
+        meta = {"span_logits": span_logits}
+        loss = gb.sparse_softmax_cross_entropy(
+            gb.reshape(logits, (-1, num_labels)), gb.reshape(labels, (-1,)))
+        train_op = None
+        if learning_rate is not None:
+            train_op = optim.GradientDescentOptimizer(
+                learning_rate).minimize(loss).outputs[0]
+        return GraphModel(graph, tokens, labels, logits, loss, train_op, meta)

@@ -1,0 +1,8 @@
+"""ONNX-style inference backend (the reproduction's third execution backend)."""
+
+from .model import Node, OnnxBuilder, OnnxModel
+from .serialization import load_onnx, save_onnx
+from .session import InferenceSession
+
+__all__ = ["Node", "OnnxBuilder", "OnnxModel", "InferenceSession",
+           "save_onnx", "load_onnx"]

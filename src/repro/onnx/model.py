@@ -1,0 +1,241 @@
+"""A minimal ONNX-style inference backend (third execution backend).
+
+The paper's Fig. 7 lists an ONNX Runtime driver as planned future work and
+argues Amanda's layered design makes new backends cheap to support.  This
+package puts that claim to the test: a static, inference-only model format
+with ONNX operator names and NCHW layout, executed by an
+:class:`InferenceSession` — deliberately a *third* execution style (no
+autograd, no user-visible graph mutation, plan-interpreted like ORT).
+
+A model is a list of :class:`Node` objects in topological order plus
+*initializers* (the trained weights).  Numerics reuse
+:mod:`repro.kernels.nn`, so kernel-level profilers see the same stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..kernels import nn as K
+from ..kernels.runtime import launch
+
+__all__ = ["Node", "OnnxModel", "OnnxBuilder", "COMPUTE"]
+
+
+@dataclass
+class Node:
+    """One operator node: ONNX-style op_type, named inputs/outputs."""
+
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict = field(default_factory=dict)
+    name: str = ""
+
+
+class OnnxModel:
+    """A static inference graph: nodes + initializers + graph inputs/outputs."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.initializers: dict[str, np.ndarray] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+
+    def add_node(self, node: Node) -> Node:
+        self.nodes.append(node)
+        return node
+
+    def producers(self) -> dict[str, Node]:
+        return {output: node for node in self.nodes for output in node.outputs}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class OnnxBuilder:
+    """Convenience builder producing ONNX-named nodes (NCHW / OIHW)."""
+
+    def __init__(self) -> None:
+        self.model = OnnxModel()
+        self._counter = itertools.count()
+
+    def _name(self, base: str) -> str:
+        return f"{base}_{next(self._counter)}"
+
+    def input(self, name: str = "input") -> str:
+        self.model.inputs.append(name)
+        return name
+
+    def output(self, value: str) -> str:
+        self.model.outputs.append(value)
+        return value
+
+    def initializer(self, value: np.ndarray, base: str = "weight") -> str:
+        name = self._name(base)
+        self.model.initializers[name] = np.asarray(value, dtype=np.float64)
+        return name
+
+    def node(self, op_type: str, inputs: list[str], attrs: dict | None = None,
+             num_outputs: int = 1) -> list[str]:
+        name = self._name(op_type)
+        outputs = [f"{name}:{i}" for i in range(num_outputs)]
+        self.model.add_node(Node(op_type, list(inputs), outputs,
+                                 dict(attrs or {}), name))
+        return outputs
+
+    # -- layer helpers ---------------------------------------------------------
+    def conv(self, x: str, weight: np.ndarray, bias: np.ndarray | None = None,
+             strides=(1, 1), pads=(0, 0)) -> str:
+        w = self.initializer(weight, "conv_w")
+        inputs = [x, w]
+        if bias is not None:
+            inputs.append(self.initializer(bias, "conv_b"))
+        return self.node("Conv", inputs,
+                         {"strides": tuple(strides), "pads": tuple(pads)})[0]
+
+    def gemm(self, x: str, weight: np.ndarray,
+             bias: np.ndarray | None = None) -> str:
+        w = self.initializer(weight, "gemm_w")  # (out, in), like ONNX transB
+        inputs = [x, w]
+        if bias is not None:
+            inputs.append(self.initializer(bias, "gemm_b"))
+        return self.node("Gemm", inputs, {"transB": 1})[0]
+
+    def relu(self, x: str) -> str:
+        return self.node("Relu", [x])[0]
+
+    def max_pool(self, x: str, kernel=(2, 2), strides=None) -> str:
+        return self.node("MaxPool", [x],
+                         {"kernel_shape": tuple(kernel),
+                          "strides": tuple(strides or kernel)})[0]
+
+    def global_average_pool(self, x: str) -> str:
+        return self.node("GlobalAveragePool", [x])[0]
+
+    def add(self, a: str, b: str) -> str:
+        return self.node("Add", [a, b])[0]
+
+    def concat(self, values: list[str], axis: int = 1) -> str:
+        return self.node("Concat", values, {"axis": axis})[0]
+
+    def flatten(self, x: str) -> str:
+        return self.node("Flatten", [x])[0]
+
+    def softmax(self, x: str) -> str:
+        return self.node("Softmax", [x])[0]
+
+    def batch_normalization(self, x: str, gamma, beta, mean, var) -> str:
+        return self.node("BatchNormalization", [
+            x, self.initializer(gamma, "bn_gamma"),
+            self.initializer(beta, "bn_beta"),
+            self.initializer(mean, "bn_mean"),
+            self.initializer(var, "bn_var")])[0]
+
+
+# ---------------------------------------------------------------------------
+# compute functions
+# ---------------------------------------------------------------------------
+
+COMPUTE: dict[str, Callable] = {}
+
+
+def _register(op_type: str):
+    def deco(fn):
+        COMPUTE[op_type] = fn
+        return fn
+    return deco
+
+
+@_register("Conv")
+def _conv(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    x, w = inputs[0], inputs[1]
+    out = K.conv2d_forward(x, w, node.attrs.get("strides", (1, 1)),
+                           node.attrs.get("pads", (0, 0)))
+    if len(inputs) > 2:
+        out = launch("bias_add", np.add, out, inputs[2].reshape(1, -1, 1, 1))
+    return [out]
+
+
+@_register("Gemm")
+def _gemm(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    x, w = inputs[0], inputs[1]
+    if node.attrs.get("transB"):
+        w = w.T
+    out = K.matmul(x, w)
+    if len(inputs) > 2:
+        out = launch("bias_add", np.add, out, inputs[2])
+    return [out]
+
+
+@_register("MatMul")
+def _matmul(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.matmul(inputs[0], inputs[1])]
+
+
+@_register("Relu")
+def _relu(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.relu(inputs[0])]
+
+
+@_register("Sigmoid")
+def _sigmoid(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.sigmoid(inputs[0])]
+
+
+@_register("Softmax")
+def _softmax(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.softmax(inputs[0], axis=-1)]
+
+
+@_register("MaxPool")
+def _max_pool(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.maxpool2d_forward(inputs[0], node.attrs["kernel_shape"],
+                                node.attrs.get("strides"))]
+
+
+@_register("AveragePool")
+def _avg_pool(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [K.avgpool2d_forward(inputs[0], node.attrs["kernel_shape"],
+                                node.attrs.get("strides"),
+                                node.attrs.get("pads", (0, 0)))]
+
+
+@_register("GlobalAveragePool")
+def _gap(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [launch("reduce_mean", inputs[0].mean, axis=(2, 3), keepdims=True)]
+
+
+@_register("Add")
+def _add(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [launch("ewise_add", np.add, inputs[0], inputs[1])]
+
+
+@_register("Concat")
+def _concat(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [launch("concat", np.concatenate, inputs,
+                   axis=node.attrs.get("axis", 1))]
+
+
+@_register("Flatten")
+def _flatten(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    x = inputs[0]
+    return [launch("reshape", np.reshape, x, (x.shape[0], -1))]
+
+
+@_register("Reshape")
+def _reshape(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    return [launch("reshape", np.reshape, inputs[0], node.attrs["shape"])]
+
+
+@_register("BatchNormalization")
+def _batch_norm(node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    x, gamma, beta, mean, var = inputs
+    out, _, _, _ = K.batch_norm_forward(x, gamma, beta, mean, var,
+                                        training=False,
+                                        eps=node.attrs.get("eps", 1e-5))
+    return [out]

@@ -1,0 +1,77 @@
+"""Save/load ONNX-style models (JSON topology + npz initializers)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .model import Node, OnnxModel
+
+__all__ = ["save_onnx", "load_onnx"]
+
+
+def _attrs_to_json(attrs: dict) -> dict:
+    encoded = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            encoded[key] = {"__tuple__": list(value)}
+        elif isinstance(value, np.ndarray):
+            raise ValueError(f"array-valued attr {key!r}: use an initializer")
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _attrs_from_json(attrs: dict) -> dict:
+    decoded = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            decoded[key] = tuple(value["__tuple__"])
+        else:
+            decoded[key] = value
+    return decoded
+
+
+def save_onnx(model: OnnxModel, path: str) -> None:
+    """Write ``<path>.json`` (topology) and ``<path>.npz`` (initializers)."""
+    payload = {
+        "inputs": model.inputs,
+        "outputs": model.outputs,
+        "nodes": [
+            {
+                "op_type": node.op_type,
+                "name": node.name,
+                "inputs": node.inputs,
+                "outputs": node.outputs,
+                "attrs": _attrs_to_json(node.attrs),
+            }
+            for node in model.nodes
+        ],
+    }
+    with open(path + ".json", "w") as fh:
+        json.dump(payload, fh, indent=1)
+    np.savez(path + ".npz", **model.initializers)
+
+
+def load_onnx(path: str) -> OnnxModel:
+    """Load a model written by :func:`save_onnx`."""
+    with open(path + ".json") as fh:
+        payload = json.load(fh)
+    model = OnnxModel()
+    model.inputs = list(payload["inputs"])
+    model.outputs = list(payload["outputs"])
+    for entry in payload["nodes"]:
+        model.add_node(Node(
+            op_type=entry["op_type"],
+            inputs=list(entry["inputs"]),
+            outputs=list(entry["outputs"]),
+            attrs=_attrs_from_json(entry["attrs"]),
+            name=entry["name"],
+        ))
+    npz_path = path + ".npz"
+    if os.path.exists(npz_path):
+        archive = np.load(npz_path)
+        model.initializers = {key: archive[key] for key in archive.files}
+    return model

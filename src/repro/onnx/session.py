@@ -1,0 +1,76 @@
+"""ONNX-style InferenceSession with a node-execution interception seam.
+
+Unlike the eager backend (per-op monkey-patching) and the graph backend
+(graph rewriting), this backend exposes a third driver style: the session
+interprets a static plan node by node and offers a single
+``node_interceptor`` seam around each node's execution — the shape an ONNX
+Runtime execution-provider hook would take.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..eager import alloc
+from ..kernels.runtime import runtime as kernel_runtime
+from .model import COMPUTE, Node, OnnxModel
+
+__all__ = ["InferenceSession"]
+
+
+class InferenceSession:
+    """Runs an :class:`OnnxModel` on fed inputs."""
+
+    #: class-level driver seam: ``node_interceptor(session, node, inputs,
+    #: run_node) -> outputs`` where ``run_node(node, inputs) -> outputs``
+    node_interceptor: Callable | None = None
+
+    def __init__(self, model: OnnxModel) -> None:
+        self.model = model
+        self.run_count = 0
+
+    def run(self, output_names: list[str] | None,
+            feeds: dict[str, np.ndarray]) -> list[np.ndarray]:
+        output_names = output_names or self.model.outputs
+        values: dict[str, np.ndarray] = {
+            name: np.asarray(array, dtype=np.float64)
+            for name, array in feeds.items()
+        }
+        for node in self.model.nodes:
+            inputs = [self._resolve(values, name) for name in node.inputs]
+            if InferenceSession.node_interceptor is not None:
+                outputs = InferenceSession.node_interceptor(
+                    self, node, inputs, self._run_node)
+            else:
+                outputs = self._run_node(node, inputs)
+            for name, value in zip(node.outputs, outputs):
+                values[name] = value
+                alloc.tracker.allocate(np.asarray(value).nbytes)
+                alloc.tracker.release(np.asarray(value).nbytes,
+                                      alloc.tracker.current_scope)
+        self.run_count += 1
+        return [self._resolve(values, name) for name in output_names]
+
+    def _resolve(self, values: dict[str, np.ndarray], name: str) -> np.ndarray:
+        if name in values:
+            return values[name]
+        if name in self.model.initializers:
+            return self.model.initializers[name]
+        raise KeyError(f"unresolved value {name!r}: not fed, computed, "
+                       "or an initializer")
+
+    def _run_node(self, node: Node, inputs: list[np.ndarray]) -> list[np.ndarray]:
+        compute = COMPUTE.get(node.op_type)
+        if compute is None:
+            raise NotImplementedError(
+                f"no compute for ONNX op type {node.op_type!r}")
+        tag = kernel_runtime.has_subscribers
+        if tag:
+            kernel_runtime.push_tag(f"{node.op_type}|{node.name}")
+        try:
+            return compute(node, inputs)
+        finally:
+            if tag:
+                kernel_runtime.pop_tag()

@@ -1,0 +1,34 @@
+"""Amanda instrumentation tools: built-in tools and the evaluated use cases."""
+
+from . import (debugging, effective_path, export, mapping, memory, profiling,
+               pruning, quantization, subgraph, tracing)
+from .debugging import (GradientClippingTool, GradientMonitorTool,
+                        NaNGuardTool)
+from .effective_path import EffectivePathTool
+from .export import OnnxExportTool, export_onnx
+from .mapping import MappingTool, standard_mapping_tool
+from .memory import MemoryProfilingTool, RematerializationPlan
+from .profiling import (FlopsProfilingTool, KernelProfilingTool,
+                        LatencyProfilingTool, SparsityProfilingTool)
+from .pruning import (ActivationPruningTool, AttentionPruningTool,
+                      ChannelPruningTool, MagnitudePruningTool,
+                      TileWisePruningTool, VectorWisePruningTool)
+from .quantization import (ActivationCalibrationTool, CalibratedPTQTool,
+                           DynamicPTQTool, QATTool, StaticPTQTool)
+from .subgraph import SubgraphRewritingTool
+from .tracing import ExecutionTraceTool, GraphTracingTool
+
+__all__ = [
+    "mapping", "tracing", "subgraph", "profiling", "pruning", "quantization",
+    "effective_path", "export", "memory", "OnnxExportTool", "export_onnx",
+    "MemoryProfilingTool", "RematerializationPlan",
+    "MappingTool", "standard_mapping_tool", "GraphTracingTool",
+    "ExecutionTraceTool", "SubgraphRewritingTool", "FlopsProfilingTool",
+    "SparsityProfilingTool", "KernelProfilingTool", "MagnitudePruningTool",
+    "TileWisePruningTool", "VectorWisePruningTool", "ChannelPruningTool",
+    "ActivationPruningTool", "AttentionPruningTool", "StaticPTQTool",
+    "DynamicPTQTool", "QATTool", "EffectivePathTool", "debugging",
+    "NaNGuardTool", "GradientMonitorTool", "GradientClippingTool",
+    "LatencyProfilingTool", "ActivationCalibrationTool",
+    "CalibratedPTQTool",
+]

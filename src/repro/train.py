@@ -1,0 +1,113 @@
+"""High-level training loop with first-class instrumentation support.
+
+``Trainer`` wires together the pieces a downstream user otherwise assembles
+by hand: minibatching, the optimizer and (optional) LR scheduler, Amanda
+instrumentation tools applied around the whole run, iteration boundaries for
+the tools' caches, and checkpointing.
+
+    trainer = Trainer(model, optimizer, tools=[MagnitudePruningTool(0.5)])
+    history = trainer.fit(train_x, train_y, epochs=10, batch_size=32)
+    accuracy = trainer.evaluate(test_x, test_y)
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core.manager import apply as amanda_apply
+from .core.manager import new_iteration
+from .data.synthetic import batches
+from .eager import functional as F
+from .eager.checkpoint import save_checkpoint
+from .eager.module import Module
+from .eager.optim import Optimizer
+from .eager.tensor import Tensor
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    epoch_losses: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def improved(self) -> bool:
+        return (len(self.epoch_losses) >= 2
+                and self.epoch_losses[-1] < self.epoch_losses[0])
+
+
+class Trainer:
+    """Trains an eager-backend model, optionally under instrumentation."""
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 loss_fn=None, scheduler=None, tools=(),
+                 checkpoint_path: str | None = None,
+                 checkpoint_every: int = 0, seed: int = 0) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn or F.cross_entropy
+        self.scheduler = scheduler
+        self.tools = tuple(tools)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.seed = seed
+        self.history = TrainingHistory()
+
+    # -- training -----------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int,
+            batch_size: int | None = None) -> TrainingHistory:
+        scope = amanda_apply(*self.tools) if self.tools else nullcontext()
+        with scope:
+            for epoch in range(epochs):
+                losses = []
+                for batch_x, batch_y in batches(
+                        x, y, batch_size or len(x), seed=self.seed + epoch):
+                    losses.append(self._step(batch_x, batch_y))
+                self.history.epoch_losses.append(float(np.mean(losses)))
+                self.history.learning_rates.append(self.optimizer.lr)
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                if (self.checkpoint_path and self.checkpoint_every
+                        and (epoch + 1) % self.checkpoint_every == 0):
+                    save_checkpoint(self.checkpoint_path, self.model,
+                                    self.optimizer)
+        return self.history
+
+    def _step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(batch_x))
+        loss = self.loss_fn(logits, Tensor(batch_y))
+        loss.backward()  # backward completion marks the iteration boundary
+        self.optimizer.step()
+        return loss.item()
+
+    # -- evaluation ----------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 instrumented: bool = True) -> float:
+        scope = (amanda_apply(*self.tools)
+                 if self.tools and instrumented else nullcontext())
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with scope:
+                logits = self.model(Tensor(x)).data
+        finally:
+            self.model.train(was_training)
+        predictions = np.argmax(logits, axis=-1)
+        return float(np.mean(predictions == y))
+
+    def predict(self, x: np.ndarray, instrumented: bool = True) -> np.ndarray:
+        scope = (amanda_apply(*self.tools)
+                 if self.tools and instrumented else nullcontext())
+        with scope:
+            if self.tools and instrumented:
+                new_iteration()
+            return self.model(Tensor(x)).data

@@ -1,0 +1,47 @@
+"""Shared fixtures: deterministic RNG and global-state hygiene.
+
+The instrumentation manager, allocation tracker, and kernel runtime are
+process-global (as in the real frameworks); the autouse fixture verifies each
+test leaves them clean so state cannot leak between tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amanda import manager
+from repro.eager import alloc
+from repro.kernels.runtime import runtime as kernel_runtime
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    alloc.tracker.reset()
+    manager.reset_timers()
+    yield
+    assert not manager.active, "test left the instrumentation manager active"
+    assert not kernel_runtime.has_subscribers, \
+        "test left a kernel profiler subscribed"
+
+
+def numeric_gradient(f, array: np.ndarray, grad_output: np.ndarray,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar <f(array), grad_output>."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    for _ in it:
+        index = it.multi_index
+        original = array[index]
+        array[index] = original + eps
+        up = (f() * grad_output).sum()
+        array[index] = original - eps
+        down = (f() * grad_output).sum()
+        array[index] = original
+        grad[index] = (up - down) / (2 * eps)
+    return grad

@@ -1,0 +1,112 @@
+"""Checkpoint save/load: parameters, buffers, optimizer state."""
+
+import numpy as np
+import pytest
+
+import repro.eager as E
+import repro.models.eager as M
+from repro.eager import F
+from repro.eager.checkpoint import load_checkpoint, save_checkpoint
+
+
+def _train_steps(model, optimizer, rng, steps=3):
+    x = E.tensor(rng.standard_normal((4, 3, 16, 16)))
+    y = E.tensor(rng.integers(0, 4, 4))
+    for _ in range(steps):
+        optimizer.zero_grad()
+        F.cross_entropy(model(x), y).backward()
+        optimizer.step()
+
+
+def test_roundtrip_restores_parameters(tmp_path, rng):
+    model = M.LeNet(rng=np.random.default_rng(1))
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model)
+    reference = model.state_dict()
+
+    fresh = M.LeNet(rng=np.random.default_rng(2))
+    load_checkpoint(path, fresh)
+    for key, value in fresh.state_dict().items():
+        np.testing.assert_array_equal(value, reference[key])
+
+
+def test_roundtrip_restores_buffers(tmp_path, rng):
+    model = M.resnet18()
+    _train_steps(model, E.optim.SGD(model.parameters(), lr=0.01), rng)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model)
+    fresh = M.resnet18()
+    load_checkpoint(path, fresh)
+    # batch-norm running stats are buffers, not parameters
+    np.testing.assert_array_equal(fresh.bn1.running_mean.data,
+                                  model.bn1.running_mean.data)
+
+
+def test_adam_state_roundtrip(tmp_path, rng):
+    model = M.MLP(in_features=8, hidden=8, rng=np.random.default_rng(3))
+    optimizer = E.optim.Adam(model.parameters(), lr=0.01)
+    x = E.tensor(rng.standard_normal((4, 8)))
+    y = E.tensor(rng.integers(0, 4, 4))
+    for _ in range(3):
+        optimizer.zero_grad()
+        F.cross_entropy(model(x), y).backward()
+        optimizer.step()
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model, optimizer)
+
+    fresh_model = M.MLP(in_features=8, hidden=8, rng=np.random.default_rng(4))
+    fresh_opt = E.optim.Adam(fresh_model.parameters(), lr=0.01)
+    load_checkpoint(path, fresh_model, fresh_opt)
+    assert fresh_opt._step_count == optimizer._step_count
+    for a, b in zip(fresh_opt._m, optimizer._m):
+        np.testing.assert_array_equal(a, b)
+
+    # identical continued trajectories
+    def next_step(model, opt):
+        opt.zero_grad()
+        F.cross_entropy(model(x), y).backward()
+        opt.step()
+        return model.state_dict()
+
+    after_original = next_step(model, optimizer)
+    after_restored = next_step(fresh_model, fresh_opt)
+    for key in after_original:
+        np.testing.assert_allclose(after_restored[key], after_original[key],
+                                   atol=1e-12)
+
+
+def test_sgd_momentum_state_roundtrip(tmp_path, rng):
+    model = M.MLP(rng=np.random.default_rng(5))
+    optimizer = E.optim.SGD(model.parameters(), lr=0.01, momentum=0.9)
+    x = E.tensor(rng.standard_normal((4, 16)))
+    y = E.tensor(rng.integers(0, 4, 4))
+    optimizer.zero_grad()
+    F.cross_entropy(model(x), y).backward()
+    optimizer.step()
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model, optimizer)
+
+    fresh_model = M.MLP(rng=np.random.default_rng(6))
+    fresh_opt = E.optim.SGD(fresh_model.parameters(), lr=0.01, momentum=0.9)
+    load_checkpoint(path, fresh_model, fresh_opt)
+    for a, b in zip(fresh_opt._velocity, optimizer._velocity):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_pruned_then_saved_model_stays_pruned(tmp_path, rng):
+    """Instrumentation workflow: prune via the hook baseline (weights masked
+    in place), checkpoint, reload — sparsity survives serialization."""
+    from repro.baselines import ModuleHookPruner
+    model = M.MLP(in_features=8, hidden=16, rng=np.random.default_rng(7))
+    pruner = ModuleHookPruner(model, sparsity=0.5).attach()
+    model(E.tensor(rng.standard_normal((2, 8))))
+    pruner.detach()
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model)
+    fresh = M.MLP(in_features=8, hidden=16, rng=np.random.default_rng(8))
+    load_checkpoint(path, fresh)
+    zeros = sum(int((p.data == 0).sum()) for n, p in fresh.named_parameters()
+                if n.endswith("weight"))
+    total = sum(p.size for n, p in fresh.named_parameters()
+                if n.endswith("weight"))
+    assert zeros / total == pytest.approx(0.5, abs=0.05)

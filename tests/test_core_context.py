@@ -1,0 +1,114 @@
+"""OpContext: inspection APIs, action recording, user-state tracking."""
+
+from repro.amanda import ActionType, OpContext
+
+
+def test_context_is_a_dict():
+    context = OpContext()
+    context["type"] = "conv2d"
+    assert context["type"] == "conv2d"
+    assert "type" in context
+
+
+def test_inspection_defaults():
+    context = OpContext()
+    assert context.get_op() is None
+    assert context.get_inputs() == []
+    assert context.get_grad_outputs() == []
+    assert context.is_forward() is True
+    assert context.namespace is None
+
+
+def test_inspection_reads_reserved_keys():
+    context = OpContext()
+    context["_inputs"] = [1, 2]
+    context["_op_id"] = 77
+    context["_is_forward"] = False
+    context["_backward_op_id"] = 88
+    context["_namespace"] = "eager"
+    assert context.get_inputs() == [1, 2]
+    assert context.get_op_id() == 77
+    assert not context.is_forward()
+    assert context.get_backward_op_id() == 88
+    assert context.namespace == "eager"
+
+
+def test_action_recording_types():
+    context = OpContext()
+    context.insert_before_op(lambda x: x, inputs=[1], mask=3)
+    context.insert_after_op(lambda x: x)
+    context.insert_before_backward_op(lambda g: g, grad_outputs=[0])
+    context.insert_after_backward_op(lambda g: g)
+    context.replace_op(lambda *a: a)
+    context.replace_backward_op(lambda *g: g)
+    types = [a.type for a in context.actions]
+    assert types == [
+        ActionType.INSERT_BEFORE_OP, ActionType.INSERT_AFTER_OP,
+        ActionType.INSERT_BEFORE_BACKWARD_OP,
+        ActionType.INSERT_AFTER_BACKWARD_OP, ActionType.REPLACE_OP,
+        ActionType.REPLACE_BACKWARD_OP,
+    ]
+
+
+def test_action_index_conventions():
+    context = OpContext()
+    all_action = context.insert_before_op(lambda *x: None)
+    none_action = context.insert_before_op(lambda: None, inputs=[])
+    some_action = context.insert_before_op(lambda x: x, inputs=[2])
+    assert all_action.tensor_indices is None
+    assert none_action.tensor_indices == ()
+    assert some_action.tensor_indices == (2,)
+
+
+def test_action_kwargs_captured():
+    context = OpContext()
+    action = context.insert_before_op(lambda w, mask: w * mask,
+                                      inputs=[1], mask="M")
+    assert action.kwargs == {"mask": "M"}
+
+
+def test_backward_action_scoped_to_backward_type():
+    context = OpContext()
+    context["_is_forward"] = False
+    context["backward_type"] = "conv2d_backward_weight"
+    action = context.insert_after_backward_op(lambda g: g)
+    assert action.backward_op == "conv2d_backward_weight"
+
+
+def test_forward_action_not_scoped():
+    context = OpContext()
+    action = context.insert_before_backward_op(lambda g: g)
+    assert action.backward_op is None
+
+
+def test_tool_attribution():
+    context = OpContext()
+    context._current_tool = "PruningTool"
+    action = context.insert_before_op(lambda x: x)
+    assert action.tool == "PruningTool"
+
+
+def test_user_state_tracking():
+    context = OpContext()
+    context["_op_id"] = 1  # reserved: not user state
+    assert not context.has_user_state
+    context._transform_write = True
+    context["type"] = "conv2d"  # transform write: not user state
+    assert not context.has_user_state
+    context._transform_write = False
+    context["mask"] = "M"  # a user tool stored state
+    assert context.has_user_state
+
+
+def test_repr_mentions_kind_and_type():
+    context = OpContext()
+    context["type"] = "relu"
+    assert "relu" in repr(context)
+    assert "forward" in repr(context)
+
+
+def test_is_backward_classification():
+    assert ActionType.INSERT_AFTER_BACKWARD_OP.is_backward
+    assert ActionType.REPLACE_BACKWARD_OP.is_backward
+    assert not ActionType.INSERT_BEFORE_OP.is_backward
+    assert not ActionType.REPLACE_OP.is_backward

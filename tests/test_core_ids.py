@@ -1,0 +1,89 @@
+"""LCG-based op identity: stability across iterations (hypothesis-backed)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amanda import LinearCongruentialGenerator, OpIdAssigner
+
+
+class TestLCG:
+    def test_deterministic_stream(self):
+        a = LinearCongruentialGenerator(seed=42)
+        b = LinearCongruentialGenerator(seed=42)
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_different_seeds_diverge(self):
+        a = LinearCongruentialGenerator(seed=1)
+        b = LinearCongruentialGenerator(seed=2)
+        assert [a.next() for _ in range(10)] != [b.next() for _ in range(10)]
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_values_in_modulus_range(self, seed):
+        lcg = LinearCongruentialGenerator(seed)
+        for _ in range(20):
+            value = lcg.next()
+            assert 0 <= value < 2**32
+
+    def test_full_period_no_short_cycle(self):
+        # the (a, c, m) parameters give a full-period generator; sanity-check
+        # a long prefix has no repeats
+        lcg = LinearCongruentialGenerator(seed=7)
+        seen = set()
+        for _ in range(10_000):
+            value = lcg.next()
+            assert value not in seen
+            seen.add(value)
+
+
+class TestOpIdAssigner:
+    def test_same_sequence_same_ids_across_iterations(self):
+        assigner = OpIdAssigner()
+        sequence = ["conv2d", "relu", "conv2d", "linear"]
+        first = [assigner.assign(name) for name in sequence]
+        assigner.new_iteration()
+        second = [assigner.assign(name) for name in sequence]
+        assert first == second
+
+    def test_distinct_ops_distinct_ids(self):
+        assigner = OpIdAssigner()
+        ids = [assigner.assign("conv2d") for _ in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_same_name_different_occurrence_differs(self):
+        assigner = OpIdAssigner()
+        a = assigner.assign("relu")
+        b = assigner.assign("relu")
+        assert a != b
+
+    def test_peek_does_not_advance(self):
+        assigner = OpIdAssigner()
+        op_id = assigner.assign("conv2d")
+        assert assigner.peek("conv2d", 0) == op_id
+        assert assigner.peek("conv2d", 5) is None
+
+    def test_reset_forgets_ids(self):
+        assigner = OpIdAssigner()
+        first = assigner.assign("conv2d")
+        assigner.reset()
+        # fresh LCG state was NOT reset, but mapping is: a new id is drawn
+        second = assigner.assign("conv2d")
+        assert first != second
+
+    def test_iteration_counter(self):
+        assigner = OpIdAssigner()
+        assert assigner.iteration == 0
+        assigner.new_iteration()
+        assert assigner.iteration == 1
+
+    @given(names=st.lists(st.sampled_from(["a", "b", "c", "d"]),
+                          min_size=1, max_size=30),
+           iterations=st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_stability_property(self, names, iterations):
+        """Any op-name sequence replayed across iterations keeps its ids."""
+        assigner = OpIdAssigner()
+        reference = [assigner.assign(name) for name in names]
+        for _ in range(iterations):
+            assigner.new_iteration()
+            assert [assigner.assign(name) for name in names] == reference

@@ -1,0 +1,174 @@
+"""Tool management: dependency resolution, cycles, control APIs, interceptor."""
+
+import pytest
+
+import repro.amanda as amanda
+from repro.amanda import Interceptor, Tool, manager
+from repro.core.manager import CachedOpRecord
+
+
+def make_tool(name: str) -> Tool:
+    return Tool(name=name)
+
+
+class TestDependencyResolution:
+    def test_dependencies_run_first(self):
+        base = make_tool("base")
+        dependent = make_tool("dependent")
+        dependent.depends_on(base)
+        order = manager.resolve_tools((dependent,))
+        assert order == [base, dependent]
+
+    def test_diamond_dependency_deduplicated(self):
+        shared = make_tool("shared")
+        left, right = make_tool("left"), make_tool("right")
+        left.depends_on(shared)
+        right.depends_on(shared)
+        top = make_tool("top")
+        top.depends_on(left, right)
+        order = manager.resolve_tools((top,))
+        assert order.count(shared) == 1
+        assert order.index(shared) < order.index(left)
+
+    def test_cycle_detected(self):
+        a, b = make_tool("a"), make_tool("b")
+        a.depends_on(b)
+        b.depends_on(a)
+        with pytest.raises(ValueError, match="cycle"):
+            manager.resolve_tools((a,))
+
+    def test_self_cycle_detected(self):
+        a = make_tool("a")
+        a.depends_on(a)
+        with pytest.raises(ValueError, match="cycle"):
+            manager.resolve_tools((a,))
+
+    def test_multiple_roots_all_included(self):
+        a, b = make_tool("a"), make_tool("b")
+        order = manager.resolve_tools((a, b))
+        assert order == [a, b]
+
+
+class TestApplyLifecycle:
+    def test_apply_activates_and_restores(self):
+        tool = make_tool("t")
+        assert not manager.active
+        with amanda.apply(tool):
+            assert manager.active
+            assert tool in manager.tools
+        assert not manager.active
+
+    def test_nested_apply_unions_tools(self):
+        a, b = make_tool("a"), make_tool("b")
+        with amanda.apply(a):
+            with amanda.apply(b):
+                assert a in manager.tools and b in manager.tools
+            # inner exit keeps the outer scope alive
+            assert manager.active
+        assert not manager.active
+
+    def test_on_apply_on_remove_called(self):
+        events = []
+
+        class LifecycleTool(Tool):
+            def on_apply(self):
+                events.append("apply")
+
+            def on_remove(self):
+                events.append("remove")
+
+        with amanda.apply(LifecycleTool()):
+            pass
+        assert events == ["apply", "remove"]
+
+    def test_epoch_bumped_on_toolset_change(self):
+        before = manager.tool_epoch
+        with amanda.apply(make_tool("t")):
+            during = manager.tool_epoch
+        assert during > before
+        assert manager.tool_epoch > during
+
+
+class TestControlAPIs:
+    def test_disabled_suppresses_activity(self):
+        with amanda.apply(make_tool("t")):
+            assert manager.active
+            with amanda.disabled():
+                assert not manager.active
+            assert manager.active
+
+    def test_enabled_reenables_inside_disabled(self):
+        with amanda.apply(make_tool("t")):
+            with amanda.disabled():
+                with amanda.enabled():
+                    assert manager.active
+
+    def test_cache_disabled_clears_and_restores(self):
+        manager.action_cache[123] = CachedOpRecord()
+        with amanda.cache_disabled():
+            assert not manager.cache_enabled
+            assert 123 not in manager.action_cache
+            assert manager.cache_lookup(123) is None
+        assert manager.cache_enabled
+        manager.action_cache.clear()
+
+    def test_cache_store_respects_flag(self):
+        with amanda.cache_disabled():
+            manager.cache_store(1, CachedOpRecord())
+            assert 1 not in manager.action_cache
+
+    def test_allow_instrumented_ad(self):
+        assert not manager.instrumented_ad
+        with amanda.allow_instrumented_ad():
+            assert manager.instrumented_ad
+        assert not manager.instrumented_ad
+
+    def test_cache_append_to_missing_record(self):
+        from repro.amanda import Action, ActionType
+        action = Action(ActionType.INSERT_BEFORE_OP, lambda *a: None)
+        assert not manager.cache_append(999_999, action)
+
+
+class TestInterceptor:
+    class Target:
+        def __init__(self):
+            self.value = "original"
+
+    def test_patch_and_restore(self):
+        target = self.Target()
+        interceptor = Interceptor()
+        interceptor.patch(target, "value", "patched")
+        assert target.value == "patched"
+        interceptor.restore_all()
+        assert target.value == "original"
+
+    def test_lifo_restore_order(self):
+        target = self.Target()
+        interceptor = Interceptor()
+        interceptor.patch(target, "value", "first")
+        interceptor.patch(target, "value", "second")
+        interceptor.restore_all()
+        assert target.value == "original"
+
+    def test_missing_attribute_deleted_on_restore(self):
+        target = self.Target()
+        interceptor = Interceptor()
+        interceptor.patch(target, "added", 42)
+        assert target.added == 42
+        interceptor.restore_all()
+        assert not hasattr(target, "added")
+
+    def test_context_manager(self):
+        target = self.Target()
+        with Interceptor() as interceptor:
+            interceptor.patch(target, "value", "inside")
+            assert target.value == "inside"
+        assert target.value == "original"
+
+    def test_active_patch_count(self):
+        interceptor = Interceptor()
+        target = self.Target()
+        interceptor.patch(target, "value", 1)
+        assert interceptor.active_patch_count == 1
+        interceptor.restore_all()
+        assert interceptor.active_patch_count == 0

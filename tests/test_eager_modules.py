@@ -1,0 +1,209 @@
+"""Module system: traversal, state dict, train/eval, hooks, layers."""
+
+import numpy as np
+import pytest
+
+import repro.eager as E
+from repro.eager import F
+
+
+class TestModuleBasics:
+    def test_named_parameters_nested(self, rng):
+        model = E.Sequential(E.Linear(4, 8, rng=rng), E.ReLU(),
+                             E.Linear(8, 2, rng=rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_state_dict_roundtrip(self, rng):
+        a = E.Linear(3, 3, rng=rng)
+        b = E.Linear(3, 3, rng=np.random.default_rng(99))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = E.BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_load_rejects_unknown_keys(self, rng):
+        with pytest.raises(KeyError):
+            E.Linear(2, 2, rng=rng).load_state_dict({"nope": np.zeros(1)})
+
+    def test_train_eval_propagates(self):
+        model = E.Sequential(E.Dropout(0.5), E.Sequential(E.Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        lin = E.Linear(2, 2, rng=rng)
+        out = lin(E.tensor(rng.standard_normal((1, 2))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_module_list(self, rng):
+        ml = E.ModuleList([E.Linear(2, 2, rng=rng)])
+        ml.append(E.Linear(2, 2, rng=rng))
+        assert len(ml) == 2
+        assert len(list(ml[0].parameters())) == 2
+
+
+class TestHooks:
+    def test_forward_pre_hook_can_modify_input(self, rng):
+        lin = E.Linear(2, 2, rng=rng)
+        lin.register_forward_pre_hook(lambda m, args: (args[0] * 0.0,))
+        out = lin(E.tensor(rng.standard_normal((1, 2))))
+        np.testing.assert_allclose(out.data, lin.bias.data.reshape(1, 2))
+
+    def test_forward_hook_can_replace_output(self, rng):
+        lin = E.Linear(2, 2, rng=rng)
+        lin.register_forward_hook(lambda m, args, out: out * 0.0)
+        out = lin(E.tensor(rng.standard_normal((1, 2))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_backward_hook_receives_grads(self, rng):
+        lin = E.Linear(3, 2, rng=rng)
+        seen = {}
+
+        def hook(module, grad_inputs, grad_outputs):
+            seen["go"] = grad_outputs
+            seen["gi"] = grad_inputs
+
+        lin.register_full_backward_hook(hook)
+        x = E.tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        lin(x).sum().backward()
+        assert seen["go"][0].shape == (4, 2)
+        assert seen["gi"][0].shape == (4, 3)
+
+    def test_backward_hook_fires_once_per_backward(self, rng):
+        lin = E.Linear(2, 2, rng=rng)
+        count = []
+        lin.register_full_backward_hook(lambda m, gi, go: count.append(1))
+        x = E.tensor(rng.standard_normal((1, 2)), requires_grad=True)
+        lin(x).sum().backward()
+        assert count == [1]
+
+    def test_hook_handle_remove(self, rng):
+        lin = E.Linear(2, 2, rng=rng)
+        calls = []
+        handle = lin.register_forward_hook(lambda m, a, o: calls.append(1))
+        handle.remove()
+        lin(E.tensor(rng.standard_normal((1, 2))))
+        assert calls == []
+
+
+class TestLayers:
+    def test_linear_matches_manual(self, rng):
+        lin = E.Linear(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        out = lin(E.tensor(x))
+        want = x @ lin.weight.data.T + lin.bias.data
+        np.testing.assert_allclose(out.data, want)
+
+    def test_conv_output_shape(self, rng):
+        conv = E.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(E.tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_batchnorm_updates_running_stats_in_train(self, rng):
+        bn = E.BatchNorm2d(3)
+        before = bn.running_mean.data.copy()
+        bn(E.tensor(rng.standard_normal((4, 3, 5, 5)) + 10.0))
+        assert not np.allclose(bn.running_mean.data, before)
+
+    def test_batchnorm_eval_frozen(self, rng):
+        bn = E.BatchNorm2d(3).eval()
+        before = bn.running_mean.data.copy()
+        bn(E.tensor(rng.standard_normal((4, 3, 5, 5))))
+        np.testing.assert_array_equal(bn.running_mean.data, before)
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = E.Dropout(0.5)
+        x = E.tensor(np.ones((100, 100)))
+        train_out = drop(x)
+        assert (train_out.data == 0).any()
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_mha_shape_and_grad(self, rng):
+        mha = E.MultiheadAttention(8, 2, rng=rng)
+        x = E.tensor(rng.standard_normal((2, 5, 8)), requires_grad=True)
+        out = mha(x)
+        assert out.shape == (2, 5, 8)
+        out.sum().backward()
+        assert x.grad.shape == (2, 5, 8)
+
+    def test_mha_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            E.MultiheadAttention(7, 2)
+
+    def test_adaptive_avgpool_global(self, rng):
+        pool = E.AdaptiveAvgPool2d()
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = pool(E.tensor(x))
+        np.testing.assert_allclose(out.data[:, :, 0, 0], x.mean(axis=(2, 3)))
+
+    def test_flatten(self, rng):
+        out = E.Flatten()(E.tensor(rng.standard_normal((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_embedding_layer(self, rng):
+        emb = E.Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+
+class TestOptim:
+    def test_sgd_reduces_quadratic(self):
+        p = E.Parameter(np.array([5.0]))
+        opt = E.optim.SGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            p = E.Parameter(np.array([5.0]))
+            opt = E.optim.SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            return abs(p.data[0])
+        assert run(0.9) < run(0.0)
+
+    def test_adam_converges(self):
+        p = E.Parameter(np.array([3.0, -2.0]))
+        opt = E.optim.Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = E.Parameter(np.array([1.0]))
+        opt = E.optim.SGD([p], lr=0.1, weight_decay=1.0)
+        for _ in range(20):
+            opt.zero_grad()
+            # zero loss gradient: only decay acts
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(p.data[0]) < 0.2
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            E.optim.SGD([], lr=0.1)
+
+    def test_step_skips_params_without_grad(self):
+        p = E.Parameter(np.array([1.0]))
+        opt = E.optim.Adam([p], lr=0.1)
+        opt.step()  # no grad: no crash, no change
+        assert p.data[0] == 1.0

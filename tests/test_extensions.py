@@ -1,0 +1,226 @@
+"""Extension features: LR schedulers, graph momentum, debugging tools,
+calibrated PTQ."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.graph as G
+import repro.models.eager as M
+from repro.amanda.tools import (ActivationCalibrationTool, CalibratedPTQTool,
+                                GradientMonitorTool, NaNGuardTool)
+from repro.eager import F
+from repro.eager.schedulers import CosineAnnealingLR, StepLR, WarmupLR
+from repro.graph import builder as gb
+from repro.graph.optim import MomentumOptimizer
+from repro.tools.debugging import NaNGuardError
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return E.optim.SGD([E.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr_decays_at_boundaries(self):
+        opt = self._optimizer()
+        scheduler = StepLR(opt, step_size=3, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(7)]
+        assert lrs[0] == lrs[1] == 1.0
+        assert lrs[2] == pytest.approx(0.1)
+        assert lrs[5] == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        opt = self._optimizer()
+        scheduler = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_ramps_linearly(self):
+        opt = self._optimizer()
+        scheduler = WarmupLR(opt, warmup_epochs=4)
+        assert opt.lr == pytest.approx(0.25)
+        values = [scheduler.step() for _ in range(5)]
+        assert values[:4] == pytest.approx([0.5, 0.75, 1.0, 1.0])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)
+        with pytest.raises(ValueError):
+            WarmupLR(self._optimizer(), warmup_epochs=0)
+
+    def test_scheduler_actually_affects_training_step(self):
+        param = E.Parameter(np.array([1.0]))
+        opt = E.optim.SGD([param], lr=1.0)
+        scheduler = StepLR(opt, step_size=1, gamma=0.5)
+        scheduler.step()
+        param.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(param.data, [0.5])
+
+
+class TestGraphMomentum:
+    def test_momentum_beats_plain_sgd(self, rng):
+        def train(optimizer_factory):
+            with G.default_graph() as g:
+                x = gb.placeholder(name="x")
+                y = gb.placeholder(name="y")
+                w = gb.variable(rng.standard_normal((6, 3)) * 0.1, name="w")
+                loss = gb.sparse_softmax_cross_entropy(gb.matmul(x, w), y)
+                train_op = optimizer_factory().minimize(loss)
+            sess = G.Session(g)
+            xv = np.random.default_rng(1).standard_normal((32, 6))
+            yv = np.random.default_rng(1).integers(0, 3, 32)
+            for _ in range(15):
+                sess.run([loss, train_op.outputs[0]], {x: xv, y: yv})
+            return sess.run(loss, {x: xv, y: yv})
+
+        from repro.graph.optim import GradientDescentOptimizer
+        plain = train(lambda: GradientDescentOptimizer(0.05))
+        momentum = train(lambda: MomentumOptimizer(0.05, 0.9))
+        assert momentum < plain
+
+    def test_velocity_variables_not_trainable(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((2, 2)), name="w")
+            loss = gb.reduce_mean(gb.matmul(x, w))
+            MomentumOptimizer(0.1).minimize(loss)
+        from repro.graph.optim import trainable_variables
+        names = [t.op.name for t in trainable_variables(g)]
+        assert not any("velocity" in name for name in names)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestNaNGuard:
+    def test_clean_run(self, rng):
+        guard = NaNGuardTool()
+        with amanda.apply(guard):
+            M.LeNet()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        assert guard.clean
+
+    def test_detects_inf_source_op(self):
+        guard = NaNGuardTool()
+        with amanda.apply(guard):
+            E.apply_op("log", E.tensor(np.array([1.0, 0.0])))
+        anomaly = guard.first_anomaly()
+        assert anomaly is not None
+        assert anomaly.kind == "inf" and anomaly.op_type == "log"
+        assert anomaly.phase == "forward"
+
+    def test_detects_nan_in_backward(self, rng):
+        guard = NaNGuardTool()
+        t = E.tensor(np.array([0.0, 1.0]), requires_grad=True)
+        with amanda.apply(guard):
+            out = E.apply_op("sqrt", t)  # d/dx sqrt at 0 -> inf
+            out.sum().backward()
+        phases = {a.phase for a in guard.anomalies}
+        assert "backward" in phases
+
+    def test_raise_mode(self):
+        guard = NaNGuardTool(raise_on_anomaly=True)
+        with amanda.apply(guard):
+            with pytest.raises(NaNGuardError, match="inf"):
+                E.apply_op("log", E.tensor(np.array([0.0])))
+
+    def test_reports_first_offender_not_downstream(self, rng):
+        """The op that *created* the NaN is reported first, even though every
+        downstream op also carries NaNs — module hooks cannot localize this
+        for functional ops."""
+        guard = NaNGuardTool(check_gradients=False)
+        with amanda.apply(guard):
+            bad = E.apply_op("log", E.tensor(np.array([0.0, 1.0])))  # -inf
+            F.relu(bad * 0.0)  # inf * 0 -> nan downstream
+        assert guard.anomalies[0].op_type == "log"
+
+
+class TestGradientMonitor:
+    def test_records_norms_per_backward_op(self, rng):
+        monitor = GradientMonitorTool()
+        lin = E.Linear(4, 4, rng=rng)
+        x = E.tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        with amanda.apply(monitor):
+            for _ in range(3):
+                lin(x).sum().backward()
+        assert all(len(norms) == 3 for norms in monitor.norms.values())
+
+    def test_detects_vanishing(self, rng):
+        monitor = GradientMonitorTool(vanish_threshold=1e-6)
+        lin = E.Linear(4, 4, rng=rng)
+        with amanda.apply(monitor):
+            out = lin(E.tensor(rng.standard_normal((2, 4))))
+            (out * 0.0).sum().backward()  # zero incoming gradient
+        assert monitor.vanishing()
+
+    def test_detects_exploding(self, rng):
+        monitor = GradientMonitorTool(explode_threshold=10.0)
+        lin = E.Linear(4, 4, rng=rng)
+        with amanda.apply(monitor):
+            out = lin(E.tensor(rng.standard_normal((2, 4))))
+            (out * 1e6).sum().backward()
+        assert monitor.exploding()
+
+    def test_summary_sorted(self, rng):
+        monitor = GradientMonitorTool()
+        model = M.MLP(in_features=4, hidden=8, rng=rng)
+        with amanda.apply(monitor):
+            model(E.tensor(rng.standard_normal((2, 4)))).sum().backward()
+        rows = monitor.summary()
+        means = [row[1] for row in rows]
+        assert means == sorted(means, reverse=True)
+
+
+class TestCalibratedPTQ:
+    def test_calibration_collects_per_op(self, rng):
+        calibration = ActivationCalibrationTool()
+        model = M.LeNet()
+        with amanda.apply(calibration):
+            for _ in range(4):
+                model(E.tensor(rng.standard_normal((2, 3, 16, 16))))
+                amanda.new_iteration()
+        # LeNet: 2 convs + 2 linears
+        assert len(calibration.observations) == 4
+        assert all(len(obs) == 4 for obs in calibration.observations)
+
+    def test_calibrated_scales_are_robust_to_outliers(self, rng):
+        """A single outlier batch barely moves the calibrated scale, while a
+        max-based dynamic scale follows the outlier."""
+        calibration = ActivationCalibrationTool(percentile=99.0)
+        lin = E.Linear(16, 4, rng=rng)
+        batches = [rng.standard_normal((8, 16)) for _ in range(4)]
+        batches.append(rng.standard_normal((8, 16)) * 100.0)  # outlier
+        with amanda.apply(calibration):
+            for batch in batches:
+                lin(E.tensor(batch))
+                amanda.new_iteration()
+        scale = calibration.scales(bits=8)[0]
+        qmax = 2 ** 7 - 1
+        typical = np.percentile(np.abs(batches[0]), 99.0) / qmax
+        assert scale < 10 * typical  # median over batches damps the outlier
+
+    def test_calibrated_ptq_lower_error_than_dynamic_on_outliers(self, rng):
+        from repro.amanda.tools import DynamicPTQTool
+        lin = E.Linear(16, 8, rng=rng)
+        calibration = ActivationCalibrationTool(percentile=99.9)
+        normal = [rng.standard_normal((8, 16)) for _ in range(5)]
+        with amanda.apply(calibration):
+            for batch in normal:
+                lin(E.tensor(batch))
+                amanda.new_iteration()
+
+        test_batch = rng.standard_normal((8, 16))
+        test_batch[0, 0] = 500.0  # inference-time outlier
+        reference = lin(E.tensor(test_batch)).data
+
+        with amanda.apply(CalibratedPTQTool(calibration, bits=6)):
+            calibrated = lin(E.tensor(test_batch)).data
+        with amanda.apply(DynamicPTQTool(bits=6)):
+            dynamic = lin(E.tensor(test_batch)).data
+
+        # exclude the outlier row: calibrated scales keep typical rows precise
+        calibrated_err = np.abs(calibrated[1:] - reference[1:]).mean()
+        dynamic_err = np.abs(dynamic[1:] - reference[1:]).mean()
+        assert calibrated_err < dynamic_err

@@ -1,0 +1,277 @@
+"""Graph backend: construction, execution, gradients, sessions, rewriting."""
+
+import numpy as np
+import pytest
+
+import repro.eager as E
+import repro.graph as G
+from repro.eager import F
+from repro.graph import builder as gb
+from repro.graph.rewrite import GraphRewriter, copy_graph
+
+
+class TestGraphConstruction:
+    def test_unique_names(self):
+        with G.default_graph() as g:
+            a = gb.constant(1.0, name="c")
+            b = gb.constant(2.0, name="c")
+        assert a.op.name != b.op.name
+
+    def test_default_graph_stack(self):
+        outer = G.get_default_graph()
+        with G.default_graph() as inner:
+            assert G.get_default_graph() is inner
+        assert G.get_default_graph() is outer
+
+    def test_get_tensor_by_name(self):
+        with G.default_graph() as g:
+            t = gb.constant(1.0, name="x")
+        assert g.get_tensor(t.name) is t
+
+    def test_finalize_blocks_user_mutation(self):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="p")
+        G.Session(g).run(x, {x: np.zeros(1)})
+        with pytest.raises(G.GraphFinalizedError):
+            gb.relu(x)
+
+    def test_operator_overloading_builds_nodes(self):
+        with G.default_graph() as g:
+            a = gb.constant(2.0)
+            out = (-a + 3.0) * 2.0 / 2.0 - 1.0
+        value = G.Session(g).run(out)
+        assert value == 0.0
+
+
+class TestExecution:
+    def test_placeholder_must_be_fed(self):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+        with pytest.raises(KeyError):
+            G.Session(g).run(x)
+
+    def test_variable_persists_across_runs(self, rng):
+        with G.default_graph() as g:
+            v = gb.variable(np.array([1.0]), name="v")
+            update = gb.assign_add(v, gb.constant(np.array([1.0])))
+        sess = G.Session(g)
+        sess.run(update.outputs[0])
+        sess.run(update.outputs[0])
+        np.testing.assert_array_equal(g.variables.read("v"), [3.0])
+
+    def test_plan_is_cached(self):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            y = gb.relu(x)
+        sess = G.Session(g)
+        sess.run(y, {x: np.zeros(2)})
+        cached = len(sess._plan_cache)
+        sess.run(y, {x: np.zeros(2)})
+        assert len(sess._plan_cache) == cached == 1
+
+    def test_plan_only_executes_dependencies(self):
+        calls = []
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            used = gb.py_call(lambda a: calls.append("used") or a, [x])
+            unused = gb.py_call(lambda a: calls.append("unused") or a, [x])
+        G.Session(g).run(used.outputs[0], {x: np.zeros(1)})
+        assert calls == ["used"]
+
+    def test_control_dependencies_run_first(self):
+        order = []
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            eff = gb.py_call(lambda a: order.append("effect") or a, [x])
+            done = gb.group([eff])
+        G.Session(g).run(done.outputs[0], {x: np.zeros(1)})
+        assert order == ["effect"]
+
+    def test_multi_fetch_returns_list(self):
+        with G.default_graph() as g:
+            a = gb.constant(1.0)
+            b = gb.constant(2.0)
+        values = G.Session(g).run([a, b])
+        assert values == [1.0, 2.0]
+
+
+class TestGradients:
+    def _eager_vs_graph(self, rng, eager_fn, graph_fn, x_shape, w_shape):
+        xv = rng.standard_normal(x_shape)
+        wv = rng.standard_normal(w_shape)
+        # eager
+        wt = E.tensor(wv, requires_grad=True)
+        eager_fn(E.tensor(xv), wt).backward()
+        # graph
+        with G.default_graph() as g:
+            xp = gb.placeholder(name="x")
+            w = gb.variable(wv, name="w")
+            loss = graph_fn(xp, w)
+            (grad_w,) = G.gradients(loss, [w])
+        got = G.Session(g).run(grad_w, {xp: xv})
+        np.testing.assert_allclose(got, wt.grad, atol=1e-10)
+
+    def test_matmul_mean_parity(self, rng):
+        self._eager_vs_graph(
+            rng,
+            lambda x, w: (x @ w).mean(),
+            lambda x, w: gb.reduce_mean(gb.matmul(x, w)),
+            (4, 3), (3, 2))
+
+    def test_relu_square_sum_parity(self, rng):
+        self._eager_vs_graph(
+            rng,
+            lambda x, w: (F.relu(x @ w) ** 2.0).sum(),
+            lambda x, w: gb.reduce_sum(gb.square(gb.relu(gb.matmul(x, w)))),
+            (5, 4), (4, 3))
+
+    def test_tanh_sigmoid_chain_parity(self, rng):
+        self._eager_vs_graph(
+            rng,
+            lambda x, w: F.sigmoid(F.tanh(x @ w)).sum(),
+            lambda x, w: gb.reduce_sum(gb.sigmoid(gb.tanh(gb.matmul(x, w)))),
+            (3, 3), (3, 3))
+
+    def test_conv_bias_relu_parity(self, rng):
+        xv = rng.standard_normal((2, 6, 6, 2))  # NHWC
+        wv = rng.standard_normal((3, 3, 2, 4))  # HWIO
+        bv = rng.standard_normal(4)
+        with G.default_graph() as g:
+            xp = gb.placeholder(name="x")
+            w = gb.variable(wv, name="w")
+            b = gb.variable(bv, name="b")
+            loss = gb.reduce_mean(
+                gb.relu(gb.bias_add(gb.conv2d(xp, w, (1, 1), (1, 1)), b)))
+            grads = G.gradients(loss, [w, b])
+        gw, gbias = G.Session(g).run(grads, {xp: xv})
+        # eager reference in NCHW/OIHW
+        xe = E.tensor(xv.transpose(0, 3, 1, 2))
+        we = E.tensor(wv.transpose(3, 2, 0, 1), requires_grad=True)
+        be = E.tensor(bv, requires_grad=True)
+        F.relu(F.conv2d(xe, we, be, (1, 1), (1, 1))).mean().backward()
+        np.testing.assert_allclose(gw.transpose(3, 2, 0, 1), we.grad, atol=1e-10)
+        np.testing.assert_allclose(gbias, be.grad, atol=1e-10)
+
+    def test_gradient_accumulation_uses_addn(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((3, 3)), name="w")
+            h = gb.matmul(x, w)
+            # two consumers of h -> AddN in backward
+            loss = gb.reduce_sum(gb.relu(h)) + gb.reduce_sum(gb.tanh(h))
+            G.gradients(loss, [w])
+        assert any(op.type == "AddN" for op in g.operations)
+
+    def test_backward_ops_mapped_to_forward(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((2, 2)), name="w")
+            loss = gb.reduce_mean(gb.relu(gb.matmul(x, w)))
+            G.gradients(loss, [w])
+        relu_grads = [op for op in g.operations if op.type == "ReluGrad"]
+        assert len(relu_grads) == 1
+        assert relu_grads[0].forward_op.type == "Relu"
+
+    def test_unreachable_variable_gets_none(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((2, 2)), name="w")
+            unused = gb.variable(rng.standard_normal(3), name="unused")
+            loss = gb.reduce_mean(gb.matmul(x, w))
+            grads = G.gradients(loss, [w, unused])
+        assert grads[0] is not None and grads[1] is None
+
+    def test_training_reduces_loss(self, rng):
+        import repro.models.graph as GM
+        gm = GM.build_mlp(learning_rate=0.5)
+        sess = gm.session()
+        x = rng.standard_normal((16, 16))
+        y = rng.integers(0, 4, 16)
+        first = sess.run(gm.loss, {gm.inputs: x, gm.labels: y})
+        for _ in range(40):
+            sess.run([gm.loss, gm.train_op], {gm.inputs: x, gm.labels: y})
+        last = sess.run(gm.loss, {gm.inputs: x, gm.labels: y})
+        assert last < first * 0.5
+
+
+class TestSessionHooks:
+    def test_hook_extra_fetches(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            y = gb.relu(x)
+
+        class Hook(G.SessionRunHook):
+            def __init__(self):
+                self.seen = []
+
+            def before_run(self, ctx):
+                return [y]
+
+            def after_run(self, ctx, values):
+                self.seen.append(ctx.extra_results[y.name])
+
+        hook = Hook()
+        sess = G.Session(g, hooks=[hook])
+        sess.run(x, {x: np.array([-1.0, 2.0])})
+        np.testing.assert_array_equal(hook.seen[0], [0.0, 2.0])
+
+
+class TestRewrite:
+    def _simple_graph(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((4, 4)), name="w")
+            y = gb.reduce_mean(gb.relu(gb.matmul(x, w)))
+        return g, x, y
+
+    def test_copy_preserves_semantics(self, rng):
+        g, x, y = self._simple_graph(rng)
+        clone, mapping = copy_graph(g)
+        xv = rng.standard_normal((2, 4))
+        original = G.Session(g).run(y, {x: xv})
+        copied = G.Session(clone).run(clone.get_tensor(y.name),
+                                      {clone.get_tensor(x.name): xv})
+        assert original == copied
+        assert len(mapping) == len(g.operations)
+
+    def test_copy_shares_variable_store(self, rng):
+        g, x, y = self._simple_graph(rng)
+        clone, _ = copy_graph(g)
+        assert clone.variables is g.variables
+
+    def test_insert_before_input(self, rng):
+        g, x, y = self._simple_graph(rng)
+        clone, _ = copy_graph(g)
+        matmul = next(op for op in clone.operations if op.type == "MatMul")
+        GraphRewriter(clone).insert_before_input(matmul, 1, lambda w: w * 0.0)
+        out = G.Session(clone).run(clone.get_tensor(y.name),
+                                   {clone.get_tensor(x.name):
+                                    rng.standard_normal((2, 4))})
+        assert out == 0.0
+
+    def test_replace_op(self, rng):
+        g, x, y = self._simple_graph(rng)
+        clone, _ = copy_graph(g)
+        relu = next(op for op in clone.operations if op.type == "Relu")
+        GraphRewriter(clone).replace_op(relu, lambda a: np.abs(a))
+        xv = rng.standard_normal((2, 4))
+        got = G.Session(clone).run(clone.get_tensor(y.name),
+                                   {clone.get_tensor(x.name): xv})
+        w = g.variables.read([n for n in g.variables.names()
+                              if n.startswith("w")][0])
+        assert abs(got - np.abs(xv @ w).mean()) < 1e-12
+
+    def test_insert_before_multiple_inputs(self, rng):
+        with G.default_graph() as g:
+            a = gb.placeholder(name="a")
+            b = gb.placeholder(name="b")
+            out = a + b
+        clone, _ = copy_graph(g)
+        add = next(op for op in clone.operations if op.type == "Add")
+        GraphRewriter(clone).insert_before_inputs(
+            add, (0, 1), lambda x, y: (x * 2, y * 3))
+        got = G.Session(clone).run(
+            clone.get_tensor(out.name),
+            {clone.get_tensor(a.name): np.array([1.0]),
+             clone.get_tensor(b.name): np.array([1.0])})
+        np.testing.assert_array_equal(got, [5.0])

@@ -1,0 +1,139 @@
+"""Compiler-fusion pass + instrumentation-point remapping (paper Sec. 7)."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.graph as G
+from repro.amanda import Tool
+from repro.amanda.tools import MagnitudePruningTool
+from repro.graph import builder as gb
+from repro.graph.fusion import fuse_graph, fusion_report
+
+
+@pytest.fixture
+def conv_net(rng):
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(rng.standard_normal((3, 3, 3, 4)) * 0.3, name="conv_w")
+        b = gb.variable(np.zeros(4), name="conv_b")
+        h = gb.relu(gb.bias_add(gb.conv2d(x, w, (1, 1), (1, 1)), b))
+        w2 = gb.variable(rng.standard_normal((4 * 8 * 8, 3)) * 0.1, name="fc_w")
+        logits = gb.matmul(gb.reshape(h, (-1, 4 * 8 * 8)), w2)
+    return g, x, logits
+
+
+class TestFusionPass:
+    def test_conv_bias_relu_fused(self, rng, conv_net):
+        g, x, logits = conv_net
+        fused, report = fuse_graph(g, protected={logits.op.name})
+        assert len(fused) < len(g)
+        assert list(report.values()) == [["Conv2D", "BiasAdd", "Relu"]]
+        assert any(op.type == "FusedConv2D" for op in fused.operations)
+
+    def test_fusion_preserves_semantics(self, rng, conv_net):
+        g, x, logits = conv_net
+        xv = rng.standard_normal((2, 8, 8, 3))
+        reference = G.Session(g).run(logits, {x: xv})
+        fused, _ = fuse_graph(g, protected={logits.op.name})
+        out = G.Session(fused).run(fused.get_tensor(logits.name),
+                                   {fused.get_tensor(x.name): xv})
+        np.testing.assert_allclose(out, reference, atol=1e-12)
+
+    def test_matmul_bias_relu_fused(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((4, 4)), name="w")
+            b = gb.variable(np.zeros(4), name="b")
+            out = gb.relu(gb.bias_add(gb.matmul(x, w), b))
+        fused, report = fuse_graph(g, protected={out.op.name})
+        # the tail Relu is protected (it is fetched): only MatMul+BiasAdd fuse
+        assert list(report.values()) == [["MatMul", "BiasAdd"]]
+        xv = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            G.Session(fused).run(fused.get_tensor(out.name),
+                                 {fused.get_tensor(x.name): xv}),
+            G.Session(g).run(out, {x: xv}), atol=1e-12)
+
+    def test_multi_consumer_blocks_fusion(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((4, 4)), name="w")
+            b = gb.variable(np.zeros(4), name="b")
+            mm = gb.matmul(x, w)
+            biased = gb.bias_add(mm, b)
+            # mm has a second consumer: fusing would change its value
+            side = gb.relu(mm)
+            total = biased + side
+        fused, report = fuse_graph(g, protected={total.op.name})
+        assert report == {}
+
+    def test_original_graph_untouched(self, rng, conv_net):
+        g, x, logits = conv_net
+        before = len(g.operations)
+        fuse_graph(g, protected={logits.op.name})
+        assert len(g.operations) == before
+        assert not any("Fused" in op.type for op in g.operations)
+
+    def test_report_formatting(self, rng, conv_net):
+        g, x, logits = conv_net
+        _, report = fuse_graph(g, protected={logits.op.name})
+        text = fusion_report(report)
+        assert "Conv2D + BiasAdd + Relu" in text
+
+
+class TestInstrumentationOnFusedGraphs:
+    def test_pruning_reaches_fused_conv_weight(self, rng, conv_net):
+        g, x, logits = conv_net
+        fused, _ = fuse_graph(g, protected={logits.op.name})
+        xv = rng.standard_normal((2, 8, 8, 3))
+        reference = G.Session(fused).run(fused.get_tensor(logits.name),
+                                         {fused.get_tensor(x.name): xv})
+        tool = MagnitudePruningTool(sparsity=0.5)
+        sess = G.Session(fused)
+        with amanda.apply(tool):
+            pruned = sess.run(fused.get_tensor(logits.name),
+                              {fused.get_tensor(x.name): xv})
+        assert len(tool.masks) == 2  # fused conv + fc matmul
+        assert not np.allclose(pruned, reference)
+
+    def test_fused_provenance_exposed_in_context(self, rng, conv_net):
+        g, x, logits = conv_net
+        fused, _ = fuse_graph(g, protected={logits.op.name})
+        seen = []
+        from repro.amanda.tools import standard_mapping_tool
+        probe = Tool("probe")
+        probe.depends_on(standard_mapping_tool())
+        probe.add_inst_for_op(
+            lambda ctx: seen.append((ctx["type"], ctx.get("fused_types")))
+            if ctx.get("fused_types") else None)
+        with amanda.apply(probe):
+            G.Session(fused).run(fused.get_tensor(logits.name),
+                                 {fused.get_tensor(x.name):
+                                  rng.standard_normal((1, 8, 8, 3))})
+        assert seen == [("conv2d", ["conv2d", "bias_add", "relu"])]
+
+    def test_relu_point_removed_but_recoverable(self, rng, conv_net):
+        """The standalone relu instrumentation point disappears under fusion
+        (the Sec. 7 problem); a fusion-aware tool finds it via fused_types."""
+        g, x, logits = conv_net
+        fused, _ = fuse_graph(g, protected={logits.op.name})
+        standalone_relus = []
+        fused_relus = []
+        from repro.amanda.tools import standard_mapping_tool
+        probe = Tool("probe")
+        probe.depends_on(standard_mapping_tool())
+
+        def analysis(ctx):
+            if ctx["type"] == "relu":
+                standalone_relus.append(ctx.get_op_id())
+            if "relu" in (ctx.get("fused_types") or []):
+                fused_relus.append(ctx.get_op_id())
+
+        probe.add_inst_for_op(analysis)
+        with amanda.apply(probe):
+            G.Session(fused).run(fused.get_tensor(logits.name),
+                                 {fused.get_tensor(x.name):
+                                  rng.standard_normal((1, 8, 8, 3))})
+        assert standalone_relus == []  # point removed by the compiler
+        assert len(fused_relus) == 1   # ...but recoverable via provenance

@@ -1,0 +1,153 @@
+"""Derived instrumentation points (Sec. 3): iteration, module, namespaces."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda import Tool
+from repro.amanda.tools import MappingTool
+from repro.eager import F
+
+
+class TestIterationPoints:
+    def test_callback_fires_on_explicit_boundary(self):
+        tool = Tool("t")
+        iterations = []
+        tool.add_inst_for_iteration(iterations.append)
+        with amanda.apply(tool):
+            amanda.new_iteration()
+            amanda.new_iteration()
+        assert len(iterations) == 2
+        assert iterations == sorted(iterations)
+
+    def test_callback_fires_after_backward(self, rng):
+        tool = Tool("t")
+        iterations = []
+        tool.add_inst_for_iteration(iterations.append)
+        lin = E.Linear(3, 2, rng=rng)
+        x = E.tensor(rng.standard_normal((2, 3)))
+        with amanda.apply(tool):
+            for _ in range(3):
+                lin(x).sum().backward()
+        assert len(iterations) == 3
+
+    def test_iteration_scoped_static_pruning(self, rng):
+        """The Fig. 1 'static pruning' shape: re-mask weights once per
+        iteration, at the iteration point, not inside operators."""
+        lin = E.Linear(8, 8, rng=rng)
+        from repro.tools.pruning import magnitude_mask
+        mask = magnitude_mask(lin.weight.data, 0.5)
+
+        tool = Tool("iteration-pruner")
+        tool.add_inst_for_iteration(
+            lambda iteration: lin.weight.data.__imul__(mask))
+        opt = E.optim.SGD(lin.parameters(), lr=0.1)
+        x = E.tensor(rng.standard_normal((4, 8)))
+        y = E.tensor(rng.integers(0, 8, 4))
+        with amanda.apply(tool):
+            for _ in range(3):
+                opt.zero_grad()
+                F.cross_entropy(lin(x), y).backward()  # -> iteration boundary
+                opt.step()
+            amanda.new_iteration()  # final re-mask after the last step
+        assert np.all(lin.weight.data[mask == 0] == 0)
+
+
+class TestModulePoints:
+    def test_context_exposes_owning_module(self, rng):
+        tool = Tool("t")
+        owners = []
+        tool.add_inst_for_op(
+            lambda ctx: owners.append(type(ctx.get_module()).__name__))
+        lin = E.Linear(3, 2, rng=rng)
+        with amanda.apply(tool):
+            lin(E.tensor(rng.standard_normal((2, 3))))
+        assert "Linear" in owners
+
+    def test_functional_ops_have_no_module(self, rng):
+        tool = Tool("t")
+        owners = []
+        tool.add_inst_for_op(lambda ctx: owners.append(ctx.get_module()))
+        with amanda.apply(tool):
+            F.relu(E.tensor(rng.standard_normal(3)))
+        assert owners == [None]
+
+    def test_module_scoped_instrumentation(self, rng):
+        """Compose a module-level point from operator points + context:
+        prune only the ops executed inside one specific block."""
+        model = M.resnet18()
+        target_block = model.layer1[0]
+        pruned_here, pruned_elsewhere = [], []
+
+        class BlockScopedPruner(Tool):
+            def __init__(self):
+                super().__init__()
+                self.add_inst_for_op(self.analysis)
+
+            def analysis(self, context):
+                if context["type"] != "conv2d":
+                    return
+                module = context.get_module()
+                owner = module
+                # walk up: the dispatch stack records the direct module;
+                # match by membership in the target block's subtree
+                in_target = any(module is m for m in target_block.modules())
+                record = pruned_here if in_target else pruned_elsewhere
+                record.append(context.get_op_id())
+                if in_target:
+                    context.insert_before_op(lambda w: w * 0.0, inputs=[1])
+
+        tool = BlockScopedPruner()
+        x = E.tensor(rng.standard_normal((1, 3, 16, 16)))
+        with amanda.apply(tool):
+            model(x)
+        assert len(pruned_here) == 2  # the block's two convs
+        assert len(pruned_elsewhere) > 10
+
+
+class TestNamespaceTags:
+    def test_full_tag_group_format(self, rng):
+        tool = Tool("t")
+        tags = []
+        tool.add_inst_for_op(lambda ctx: tags.append(ctx.namespace_tags))
+        with amanda.apply(tool):
+            F.relu(E.tensor(np.ones(2)))
+        assert tags == ["eager/1.0/eager"]
+
+    def test_version_specific_rule_matches(self, rng):
+        hits = []
+        mapping = MappingTool(rules=[
+            ["eager/1.0", lambda ctx: hits.append("versioned")],
+            ["eager/9.9", lambda ctx: hits.append("wrong-version")],
+        ])
+        with amanda.apply(mapping):
+            F.relu(E.tensor(np.ones(2)))
+        assert "versioned" in hits
+        assert "wrong-version" not in hits
+
+    def test_graph_mode_tag(self, rng):
+        import repro.graph as G
+        from repro.graph import builder as gb
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            y = gb.relu(x)
+        tool = Tool("t")
+        tags = []
+        tool.add_inst_for_op(lambda ctx: tags.append(ctx.namespace_tags))
+        with amanda.apply(tool):
+            G.Session(g).run(y, {x: np.ones(2)})
+        assert "graph/1.0/graph" in tags
+
+    def test_onnx_mode_tag(self, rng):
+        from repro.onnx import InferenceSession, OnnxBuilder
+        builder = OnnxBuilder()
+        x = builder.input()
+        builder.output(builder.relu(x))
+        tool = Tool("t")
+        tags = []
+        tool.add_inst_for_op(lambda ctx: tags.append(ctx.namespace_tags))
+        with amanda.apply(tool):
+            InferenceSession(builder.model).run(None, {"input": np.ones(2)})
+        assert tags == ["onnx/1.0/inference"]

@@ -1,0 +1,85 @@
+"""Unit tests for the simulated kernel runtime (CUPTI analog)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.runtime import KernelEvent, KernelRuntime
+
+
+@pytest.fixture
+def runtime() -> KernelRuntime:
+    return KernelRuntime()
+
+
+def test_launch_passthrough_without_subscribers(runtime):
+    result = runtime.launch("gemm", np.matmul, np.eye(3), np.ones((3, 2)))
+    assert result.shape == (3, 2)
+    assert runtime.launch_count == 1
+
+
+def test_subscriber_receives_events(runtime):
+    events: list[KernelEvent] = []
+    runtime.subscribe(events.append)
+    runtime.launch("relu", np.maximum, np.array([-1.0, 2.0]), 0.0)
+    runtime.unsubscribe(events.append)
+    assert len(events) == 1
+    event = events[0]
+    assert event.name == "relu"
+    assert event.duration >= 0
+    assert event.bytes_accessed > 0
+
+
+def test_unsubscribe_stops_events(runtime):
+    events = []
+    runtime.subscribe(events.append)
+    runtime.unsubscribe(events.append)
+    runtime.launch("noop", lambda: 0)
+    assert events == []
+
+
+def test_correlation_tag_stack(runtime):
+    events = []
+    runtime.subscribe(events.append)
+    runtime.push_tag("conv2d|1")
+    runtime.push_tag("gemm|2")
+    runtime.launch("inner", lambda: np.zeros(1))
+    runtime.pop_tag()
+    runtime.launch("outer", lambda: np.zeros(1))
+    runtime.pop_tag()
+    runtime.launch("untagged", lambda: np.zeros(1))
+    runtime.unsubscribe(events.append)
+    assert events[0].correlation_tag == "gemm|2"
+    assert events[1].correlation_tag == "conv2d|1"
+    assert events[2].correlation_tag is None
+
+
+def test_pop_tag_on_empty_stack_is_noop(runtime):
+    runtime.pop_tag()
+    assert runtime.current_tag() is None
+
+
+def test_bytes_accessed_counts_args_and_result(runtime):
+    events = []
+    runtime.subscribe(events.append)
+    a = np.zeros((4, 4))
+    runtime.launch("copy", lambda x: x.copy(), a)
+    runtime.unsubscribe(events.append)
+    assert events[0].bytes_accessed == 2 * a.nbytes
+
+
+def test_multiple_subscribers_all_notified(runtime):
+    seen_a, seen_b = [], []
+    runtime.subscribe(seen_a.append)
+    runtime.subscribe(seen_b.append)
+    runtime.launch("k", lambda: np.zeros(1))
+    runtime.unsubscribe(seen_a.append)
+    runtime.unsubscribe(seen_b.append)
+    assert len(seen_a) == len(seen_b) == 1
+
+
+def test_event_meta_passthrough(runtime):
+    events = []
+    runtime.subscribe(events.append)
+    runtime.launch("k", lambda: np.zeros(1), meta={"algo": "winograd"})
+    runtime.unsubscribe(events.append)
+    assert events[0].meta == {"algo": "winograd"}

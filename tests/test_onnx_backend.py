@@ -1,0 +1,184 @@
+"""ONNX-style backend: execution, the third driver, and instrumented export."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda.tools import (FlopsProfilingTool, GraphTracingTool,
+                                MagnitudePruningTool, StaticPTQTool)
+from repro.onnx import InferenceSession, OnnxBuilder
+from repro.tools.export import export_onnx
+
+
+@pytest.fixture
+def tiny_model(rng):
+    builder = OnnxBuilder()
+    x = builder.input("input")
+    h = builder.relu(builder.conv(x, rng.standard_normal((4, 3, 3, 3)),
+                                  np.zeros(4), pads=(1, 1)))
+    h = builder.max_pool(h)
+    h = builder.flatten(h)
+    logits = builder.gemm(h, rng.standard_normal((4, 4 * 8 * 8)), np.zeros(4))
+    builder.output(logits)
+    return builder.model
+
+
+class TestInferenceSession:
+    def test_runs_and_shapes(self, rng, tiny_model):
+        session = InferenceSession(tiny_model)
+        out = session.run(None, {"input": rng.standard_normal((2, 3, 16, 16))})
+        assert out[0].shape == (2, 4)
+
+    def test_missing_feed_raises(self, tiny_model):
+        with pytest.raises(KeyError, match="unresolved"):
+            InferenceSession(tiny_model).run(None, {})
+
+    def test_unknown_op_raises(self):
+        builder = OnnxBuilder()
+        x = builder.input()
+        builder.output(builder.node("Mystery", [x])[0])
+        with pytest.raises(NotImplementedError):
+            InferenceSession(builder.model).run(None, {"input": np.zeros(2)})
+
+    def test_deterministic(self, rng, tiny_model):
+        session = InferenceSession(tiny_model)
+        x = rng.standard_normal((1, 3, 16, 16))
+        a = session.run(None, {"input": x})[0]
+        b = session.run(None, {"input": x})[0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOnnxDriver:
+    def test_pruning_tool_unchanged(self, rng, tiny_model):
+        session = InferenceSession(tiny_model)
+        x = rng.standard_normal((2, 3, 16, 16))
+        vanilla = session.run(None, {"input": x})[0]
+        tool = MagnitudePruningTool(sparsity=0.5)
+        with amanda.apply(tool):
+            pruned = session.run(None, {"input": x})[0]
+        restored = session.run(None, {"input": x})[0]
+        assert len(tool.masks) == 2  # Conv weight + Gemm weight
+        assert not np.allclose(pruned, vanilla)
+        np.testing.assert_array_equal(restored, vanilla)
+
+    def test_quantization_tool_unchanged(self, rng, tiny_model):
+        session = InferenceSession(tiny_model)
+        tool = StaticPTQTool(bits=4)
+        with amanda.apply(tool):
+            session.run(None, {"input": rng.standard_normal((1, 3, 16, 16))})
+        assert len(tool.weight_scales) == 2
+
+    def test_flops_profiler_counts(self, rng, tiny_model):
+        tool = FlopsProfilingTool()
+        with amanda.apply(tool):
+            InferenceSession(tiny_model).run(
+                None, {"input": rng.standard_normal((1, 3, 16, 16))})
+        by_type = tool.by_op_type()
+        assert by_type.get("conv2d", 0) > 0
+        assert by_type.get("linear", 0) > 0
+
+    def test_tracing_tool_sees_all_nodes(self, rng, tiny_model):
+        tool = GraphTracingTool()
+        with amanda.apply(tool):
+            InferenceSession(tiny_model).run(
+                None, {"input": rng.standard_normal((1, 3, 16, 16))})
+        assert len(tool.forward_nodes()) == len(tiny_model)
+
+    def test_analysis_cached_across_runs(self, rng, tiny_model):
+        calls = []
+        tool = amanda.Tool("t")
+        tool.add_inst_for_op(lambda ctx: calls.append(ctx["_raw_type"]))
+        session = InferenceSession(tiny_model)
+        with amanda.apply(tool):
+            for _ in range(3):
+                session.run(None,
+                            {"input": rng.standard_normal((1, 3, 16, 16))})
+        assert len(calls) == len(tiny_model)  # analyzed once per node
+
+
+class TestExport:
+    @pytest.mark.parametrize("factory,shape", [
+        (lambda: M.MLP(in_features=8, hidden=16), (3, 8)),
+        (M.LeNet, (2, 3, 16, 16)),
+        (M.resnet18, (2, 3, 16, 16)),
+        (M.mobilenet_v2, (1, 3, 16, 16)),
+        (M.inception_v3, (1, 3, 16, 16)),
+    ])
+    def test_export_bit_exact(self, rng, factory, shape):
+        model = factory()
+        x = E.tensor(rng.standard_normal(shape))
+        onnx_model = export_onnx(model, x)
+        want = model(x).data
+        got = InferenceSession(onnx_model).run(None, {"input": x.data})[0]
+        np.testing.assert_array_equal(got, want)
+
+    def test_conv_bias_folded(self, rng):
+        model = M.LeNet()
+        onnx_model = export_onnx(model,
+                                 E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        conv_nodes = [n for n in onnx_model.nodes if n.op_type == "Conv"]
+        assert all(len(n.inputs) == 3 for n in conv_nodes)  # bias folded in
+        assert not any(n.op_type == "Add" for n in onnx_model.nodes)
+
+    def test_exported_model_instrumentable(self, rng):
+        """Full circle: export an eager model, then instrument the ONNX copy."""
+        model = M.LeNet()
+        x = E.tensor(rng.standard_normal((1, 3, 16, 16)))
+        onnx_model = export_onnx(model, x)
+        tool = MagnitudePruningTool(sparsity=0.5)
+        session = InferenceSession(onnx_model)
+        with amanda.apply(tool):
+            session.run(None, {"input": x.data})
+        assert len(tool.masks) == 4  # 2 convs + 2 gemms
+
+    def test_dropout_dropped_in_eval(self, rng):
+        model = E.Sequential(E.Linear(4, 4), E.Dropout(0.5), E.ReLU())
+        onnx_model = export_onnx(model, E.tensor(rng.standard_normal((2, 4))))
+        assert [n.op_type for n in onnx_model.nodes] == ["Gemm", "Relu"]
+
+    def test_training_batch_norm_rejected(self, rng):
+        model = M.resnet18()
+        x = E.tensor(rng.standard_normal((2, 3, 16, 16)))
+        from repro.tools.export import OnnxExportTool
+        tool = OnnxExportTool()
+        model.train()
+        with amanda.apply(tool):
+            out = model(x)
+        with pytest.raises(NotImplementedError, match="eval-mode"):
+            tool.build(x, out)
+
+
+class TestSerialization:
+    def test_roundtrip_bit_exact(self, tmp_path, rng):
+        import repro.eager as E2
+        from repro.onnx import load_onnx, save_onnx
+        model = M.resnet18()
+        x = E2.tensor(rng.standard_normal((1, 3, 16, 16)))
+        onnx_model = export_onnx(model, x)
+        path = str(tmp_path / "resnet18")
+        save_onnx(onnx_model, path)
+        restored = load_onnx(path)
+        want = InferenceSession(onnx_model).run(None, {"input": x.data})[0]
+        got = InferenceSession(restored).run(None, {"input": x.data})[0]
+        np.testing.assert_array_equal(got, want)
+
+    def test_topology_preserved(self, tmp_path, rng, tiny_model):
+        from repro.onnx import load_onnx, save_onnx
+        path = str(tmp_path / "tiny")
+        save_onnx(tiny_model, path)
+        restored = load_onnx(path)
+        assert [n.op_type for n in restored.nodes] == \
+            [n.op_type for n in tiny_model.nodes]
+        assert restored.inputs == tiny_model.inputs
+        assert restored.outputs == tiny_model.outputs
+
+    def test_tuple_attrs_survive(self, tmp_path, rng, tiny_model):
+        from repro.onnx import load_onnx, save_onnx
+        path = str(tmp_path / "tiny")
+        save_onnx(tiny_model, path)
+        restored = load_onnx(path)
+        conv = next(n for n in restored.nodes if n.op_type == "Conv")
+        assert conv.attrs["strides"] == (1, 1)
+        assert isinstance(conv.attrs["strides"], tuple)

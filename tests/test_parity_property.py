@@ -1,0 +1,125 @@
+"""Property-based parity: the two trainable backends agree on values and
+gradients for randomly generated computations (hypothesis-driven)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.eager as E
+import repro.graph as G
+from repro.eager import F
+from repro.graph import builder as gb
+
+# a small algebra of composable unary stages available on both backends
+_STAGES = {
+    "relu": (F.relu, gb.relu),
+    "tanh": (F.tanh, gb.tanh),
+    "sigmoid": (F.sigmoid, gb.sigmoid),
+    "gelu": (F.gelu, gb.gelu),
+    "softmax": (lambda t: F.softmax(t, axis=-1), gb.softmax),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 5),
+    in_dim=st.integers(1, 6),
+    out_dim=st.integers(1, 6),
+    stages=st.lists(st.sampled_from(sorted(_STAGES)), min_size=0, max_size=3),
+    seed=st.integers(0, 10_000),
+)
+def test_matmul_chain_value_and_grad_parity(batch, in_dim, out_dim, stages,
+                                            seed):
+    rng = np.random.default_rng(seed)
+    xv = rng.standard_normal((batch, in_dim))
+    wv = rng.standard_normal((in_dim, out_dim))
+
+    # eager
+    w_eager = E.tensor(wv, requires_grad=True)
+    value = E.tensor(xv) @ w_eager
+    for stage in stages:
+        value = _STAGES[stage][0](value)
+    loss_eager = value.mean()
+    loss_eager.backward()
+
+    # graph
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(wv, name="w")
+        node = gb.matmul(x, w)
+        for stage in stages:
+            node = _STAGES[stage][1](node)
+        loss = gb.reduce_mean(node)
+        (grad_w,) = G.gradients(loss, [w])
+    session = G.Session(g)
+    loss_graph, grad_graph = session.run([loss, grad_w], {x: xv})
+
+    np.testing.assert_allclose(loss_graph, loss_eager.item(), atol=1e-10)
+    np.testing.assert_allclose(grad_graph, w_eager.grad, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    channels=st.integers(1, 4),
+    filters=st.integers(1, 4),
+    size=st.integers(5, 9),
+    seed=st.integers(0, 10_000),
+)
+def test_conv_relu_mean_parity(channels, filters, size, seed):
+    rng = np.random.default_rng(seed)
+    xv = rng.standard_normal((2, channels, size, size))
+    wv = rng.standard_normal((filters, channels, 3, 3))
+
+    w_eager = E.tensor(wv, requires_grad=True)
+    loss_eager = F.relu(F.conv2d(E.tensor(xv), w_eager,
+                                 stride=(1, 1), padding=(1, 1))).mean()
+    loss_eager.backward()
+
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(wv.transpose(2, 3, 1, 0), name="w")  # OIHW -> HWIO
+        loss = gb.reduce_mean(gb.relu(gb.conv2d(x, w, (1, 1), (1, 1))))
+        (grad_w,) = G.gradients(loss, [w])
+    loss_graph, grad_graph = G.Session(g).run(
+        [loss, grad_w], {x: xv.transpose(0, 2, 3, 1)})  # NCHW -> NHWC
+
+    np.testing.assert_allclose(loss_graph, loss_eager.item(), atol=1e-10)
+    np.testing.assert_allclose(grad_graph.transpose(3, 2, 0, 1),
+                               w_eager.grad, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_unbroadcast_property(rows, cols, seed):
+    """unbroadcast(grad, shape) equals the true gradient of broadcasting."""
+    from repro.eager.dispatch import unbroadcast
+    rng = np.random.default_rng(seed)
+    grad = rng.standard_normal((rows, cols))
+    # broadcasting (cols,) across (rows, cols): d/dsmall sum(grad * big)
+    np.testing.assert_allclose(unbroadcast(grad, (cols,)), grad.sum(axis=0))
+    np.testing.assert_allclose(unbroadcast(grad, (1, cols)),
+                               grad.sum(axis=0, keepdims=True))
+    np.testing.assert_allclose(unbroadcast(grad, (rows, 1)),
+                               grad.sum(axis=1, keepdims=True))
+    np.testing.assert_allclose(unbroadcast(grad, (rows, cols)), grad)
+
+
+@settings(max_examples=20, deadline=None)
+@given(batch=st.integers(1, 4), dim=st.integers(2, 6),
+       seed=st.integers(0, 10_000))
+def test_eager_onnx_inference_parity(batch, dim, seed):
+    """Random tiny MLPs export to the ONNX backend bit-exactly."""
+    import repro.models.eager as M
+    from repro.onnx import InferenceSession
+    from repro.tools.export import export_onnx
+    rng = np.random.default_rng(seed)
+    model = M.MLP(in_features=dim, hidden=dim + 2, num_classes=3,
+                  rng=rng)
+    x = E.tensor(rng.standard_normal((batch, dim)))
+    onnx_model = export_onnx(model, x)
+    got = InferenceSession(onnx_model).run(None, {"input": x.data})[0]
+    np.testing.assert_array_equal(got, model(x).data)

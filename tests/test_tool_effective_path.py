@@ -1,0 +1,82 @@
+"""Effective-path tool: extraction sanity on MLP and CNN."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.amanda.tools import EffectivePathTool
+from repro.eager import F
+
+
+@pytest.fixture
+def mlp_run(rng):
+    tool = EffectivePathTool()
+    model = M.MLP(in_features=8, hidden=16, num_classes=4, rng=rng)
+    with amanda.apply(tool):
+        model(E.tensor(rng.standard_normal((1, 8))))
+    return tool
+
+
+def test_density_in_unit_interval(mlp_run):
+    density = mlp_run.path_density(theta=0.5)
+    assert 0.0 < density <= 1.0
+
+
+def test_density_monotone_in_theta(mlp_run):
+    low = mlp_run.path_density(theta=0.1)
+    high = mlp_run.path_density(theta=0.9)
+    assert low <= high
+
+
+def test_path_sparser_than_full_network(mlp_run):
+    # with a small theta the path keeps only a fraction of neurons
+    assert mlp_run.path_density(theta=0.3) < 1.0
+
+
+def test_extract_returns_masks_per_op(mlp_run):
+    active = mlp_run.extract(theta=0.5)
+    assert active
+    for op_id, mask in active.items():
+        assert mask.dtype == bool
+
+
+def test_sink_seeded_with_argmax(rng):
+    tool = EffectivePathTool()
+    model = M.MLP(in_features=6, hidden=8, num_classes=3, rng=rng)
+    x = E.tensor(rng.standard_normal((1, 6)))
+    with amanda.apply(tool):
+        logits = model(x)
+    active = tool.extract(theta=0.5)
+    # find the sink (final linear) node mask: exactly one active class
+    graph = tool.tracer.graph
+    sinks = [n for n in active
+             if graph.out_degree(n) == 0 and not graph.nodes[n]["backward"]]
+    assert sinks
+    sink_mask = active[sinks[0]]
+    assert sink_mask.sum() == 1
+    assert int(np.argmax(logits.data[0])) == int(np.argmax(sink_mask))
+
+
+def test_works_on_cnn(rng):
+    tool = EffectivePathTool()
+    model = M.LeNet()
+    with amanda.apply(tool):
+        model(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+    density = tool.path_density(theta=0.5)
+    assert 0.0 < density <= 1.0
+
+
+def test_requires_both_graphs(rng):
+    """The tool needs forward and backward graph structure (Tbl. 1) — its
+    dependency on GraphTracingTool provides the graph in the context."""
+    tool = EffectivePathTool()
+    assert any(type(dep).__name__ == "GraphTracingTool"
+               for dep in tool.dependencies)
+
+
+def test_reset_clears_state(mlp_run):
+    mlp_run.reset()
+    assert not mlp_run.activations
+    assert len(mlp_run.tracer.graph) == 0

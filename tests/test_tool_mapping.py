@@ -1,0 +1,107 @@
+"""MappingTool: namespace-filtered rules, canonical normalization."""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.graph as G
+from repro.amanda import Tool
+from repro.amanda.tools import MappingTool, standard_mapping_tool
+from repro.eager import F
+from repro.graph import builder as gb
+
+
+def collect_contexts(tool_dependencies, run):
+    """Run `run()` with a collector tool depending on the given tools."""
+    collected = []
+    collector = Tool("collector")
+    collector.depends_on(*tool_dependencies)
+    collector.add_inst_for_op(lambda ctx: collected.append(dict(ctx)))
+    collector.add_inst_for_op(lambda ctx: collected.append(dict(ctx)),
+                              backward=True)
+    with amanda.apply(collector):
+        run()
+    return collected
+
+
+def test_rule_namespace_filtering():
+    eager_hits, graph_hits = [], []
+    mapping = MappingTool(rules=[
+        ["eager", lambda ctx: eager_hits.append(ctx["_raw_type"])],
+        ["graph", lambda ctx: graph_hits.append(ctx["_raw_type"])],
+    ])
+    x = E.tensor(np.ones(3))
+    with amanda.apply(mapping):
+        F.relu(x)
+    assert eager_hits and not graph_hits
+
+
+def test_graph_types_normalized_to_canonical(rng):
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(rng.standard_normal((3, 3, 3, 2)), name="w")
+        out = gb.relu(gb.conv2d(x, w, (1, 1), (1, 1)))
+
+    contexts = collect_contexts(
+        [standard_mapping_tool()],
+        lambda: G.Session(g).run(out, {x: rng.standard_normal((1, 4, 4, 3))}))
+    types = {c.get("type") for c in contexts}
+    assert "conv2d" in types and "relu" in types
+    assert "Conv2D" not in types
+
+
+def test_graph_backward_types_normalized(rng):
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(rng.standard_normal((3, 3, 3, 2)), name="w")
+        loss = gb.reduce_mean(gb.conv2d(x, w, (1, 1), (1, 1)))
+        (gw,) = G.gradients(loss, [w])
+
+    contexts = collect_contexts(
+        [standard_mapping_tool()],
+        lambda: G.Session(g).run(gw, {x: rng.standard_normal((1, 4, 4, 3))}))
+    backward_types = {c.get("backward_type") for c in contexts
+                      if not c.get("_is_forward", True)}
+    assert "conv2d_backward_weight" in backward_types
+    assert "conv2d_backward_input" in backward_types
+
+
+def test_layout_annotations_differ_by_backend(rng):
+    eager_layouts, graph_layouts = set(), set()
+    contexts = collect_contexts(
+        [standard_mapping_tool()],
+        lambda: F.relu(E.tensor(np.ones(3))))
+    eager_layouts = {c.get("data_layout") for c in contexts}
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        y = gb.relu(x)
+    contexts = collect_contexts(
+        [standard_mapping_tool()],
+        lambda: G.Session(g).run(y, {x: np.ones(3)}))
+    graph_layouts = {c.get("data_layout") for c in contexts}
+    assert "NCHW" in eager_layouts
+    assert "NHWC" in graph_layouts
+
+
+def test_mapping_runs_before_dependent_tool():
+    order = []
+    mapping = MappingTool(rules=[["eager", lambda ctx: order.append("map")]])
+    user = Tool("user")
+    user.depends_on(mapping)
+    user.add_inst_for_op(lambda ctx: order.append("user"))
+    with amanda.apply(user):
+        F.relu(E.tensor(np.ones(2)))
+    assert order[:2] == ["map", "user"]
+
+
+def test_custom_rule_rewrites_type():
+    mapping = MappingTool(rules=[
+        ["eager", lambda ctx: ctx.__setitem__("type", "renamed/" + ctx["_raw_type"])],
+    ])
+    seen = []
+    user = Tool("user")
+    user.depends_on(mapping)
+    user.add_inst_for_op(lambda ctx: seen.append(ctx["type"]))
+    with amanda.apply(user):
+        F.relu(E.tensor(np.ones(2)))
+    assert "renamed/relu" in seen

@@ -1,0 +1,96 @@
+"""Memory profiling / DTR-style rematerialization tool."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.models.eager as M
+from repro.eager import F
+from repro.tools.memory import MemoryProfilingTool
+
+
+@pytest.fixture
+def recorded(rng):
+    tool = MemoryProfilingTool()
+    model = M.LeNet()
+    with amanda.apply(tool):
+        model(E.tensor(rng.standard_normal((2, 3, 16, 16))))
+    return tool
+
+
+def test_records_every_op(recorded):
+    assert len(recorded.order) == len(recorded.output_bytes)
+    assert len(recorded.order) >= 10  # LeNet ops
+    assert all(nbytes > 0 for nbytes in recorded.output_bytes.values())
+
+
+def test_peak_at_most_sum_at_least_max(recorded):
+    peak = recorded.peak_memory()
+    total = sum(recorded.output_bytes.values())
+    largest = max(recorded.output_bytes.values())
+    assert largest <= peak <= total
+
+
+def test_liveness_frees_dead_activations(rng):
+    """A long sequential chain must peak far below the sum of activations."""
+    tool = MemoryProfilingTool()
+    model = E.Sequential(*[layer for _ in range(8)
+                           for layer in (E.Linear(64, 64), E.ReLU())])
+    with amanda.apply(tool):
+        model(E.tensor(rng.standard_normal((4, 64))))
+    peak = tool.peak_memory()
+    total = sum(tool.output_bytes.values())
+    assert peak < 0.5 * total
+
+
+def test_eviction_lowers_peak(recorded):
+    baseline = recorded.peak_memory()
+    biggest = max(recorded.output_bytes, key=recorded.output_bytes.get)
+    # evicting one tensor can never raise the peak...
+    assert recorded.peak_memory({biggest}) <= baseline
+    # ...and evicting the two largest strictly lowers it
+    two_largest = set(sorted(recorded.output_bytes,
+                             key=recorded.output_bytes.get)[-2:])
+    assert recorded.peak_memory(two_largest) < baseline
+
+
+def test_plan_trivial_when_budget_sufficient(recorded):
+    plan = recorded.rematerialization_plan(budget=recorded.peak_memory())
+    assert plan.feasible and plan.evicted == [] and plan.recompute_flops == 0
+
+
+def test_plan_reaches_tighter_budget(recorded):
+    baseline = recorded.peak_memory()
+    plan = recorded.rematerialization_plan(budget=int(baseline * 0.6))
+    assert plan.feasible
+    assert plan.evicted
+    assert plan.achieved_peak <= int(baseline * 0.6)
+    assert plan.recompute_flops >= 0
+
+
+def test_plan_prefers_cheap_big_activations(recorded):
+    """The first eviction has the best bytes-per-recompute-FLOP ratio."""
+    plan = recorded.rematerialization_plan(
+        budget=int(recorded.peak_memory() * 0.9))
+    first = plan.evicted[0]
+    ratio = (recorded.output_bytes[first]
+             / (1 + recorded.recompute_cost.get(first, 0)))
+    best = max(recorded.output_bytes[op]
+               / (1 + recorded.recompute_cost.get(op, 0))
+               for op in recorded.order)
+    assert ratio == best
+
+
+def test_works_on_resnet_with_branches(rng):
+    tool = MemoryProfilingTool()
+    with amanda.apply(tool):
+        M.resnet18()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+    baseline = tool.peak_memory()
+    plan = tool.rematerialization_plan(budget=int(baseline * 0.5))
+    assert plan.achieved_peak < baseline
+
+
+def test_reset(recorded):
+    recorded.reset()
+    assert not recorded.order and not recorded.output_bytes

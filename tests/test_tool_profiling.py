@@ -1,0 +1,138 @@
+"""Profiling tools: FLOPs counting, sparsity, kernel-level aggregation."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.graph as G
+import repro.models.eager as M
+from repro.amanda.tools import (FlopsProfilingTool, KernelProfilingTool,
+                                SparsityProfilingTool)
+from repro.eager import F
+from repro.tools.profiling import flops_for
+
+
+class TestFlopsFormulas:
+    def test_linear_flops(self):
+        assert flops_for("linear", [(4, 10), (8, 10)], [(4, 8)]) == 2 * 4 * 8 * 10
+
+    def test_conv_flops(self):
+        # (N=1, O=8, OH=4, OW=4), weight OIHW (8, 3, 3, 3)
+        got = flops_for("conv2d", [(1, 3, 4, 4), (8, 3, 3, 3)], [(1, 8, 4, 4)])
+        assert got == 2 * (1 * 8 * 4 * 4) * (3 * 3 * 3)
+
+    def test_elementwise_flops(self):
+        assert flops_for("relu", [(2, 8)], [(2, 8)]) == 16
+
+    def test_unknown_type_is_zero(self):
+        assert flops_for("mystery", [(2, 2)], [(2, 2)]) == 0
+
+
+class TestFlopsTool:
+    def test_linear_model_exact_count(self, rng):
+        tool = FlopsProfilingTool()
+        lin = E.Linear(10, 8, rng=rng)
+        with amanda.apply(tool):
+            lin(E.tensor(rng.standard_normal((4, 10))))
+        # linear + bias_add (fused in the linear op): counted as linear
+        assert tool.by_op_type()["linear"] == 2 * 4 * 8 * 10
+
+    def test_counts_functional_ops_module_hooks_miss(self, rng):
+        from repro.baselines import ModuleHookFlopsProfiler
+        model = M.resnet18()
+        x = E.tensor(rng.standard_normal((1, 3, 16, 16)))
+        tool = FlopsProfilingTool()
+        with amanda.apply(tool):
+            model(x)
+        hook_profiler = ModuleHookFlopsProfiler(model).attach()
+        model(x)
+        hook_profiler.detach()
+        # Amanda additionally counts batch norms, pools, adds...
+        assert tool.total_flops() > hook_profiler.total_flops()
+        # ...but agrees on the conv+linear share
+        conv_linear = (tool.by_op_type().get("conv2d", 0)
+                       + tool.by_op_type().get("linear", 0))
+        assert conv_linear == hook_profiler.total_flops()
+
+    def test_portable_across_backends(self, rng):
+        from repro.graph import builder as gb
+        tool = FlopsProfilingTool(op_types=("matmul",))
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((10, 8)), name="w")
+            out = gb.matmul(x, w)
+        with amanda.apply(tool):
+            G.Session(g).run(out, {x: rng.standard_normal((4, 10))})
+        assert tool.by_op_type()["matmul"] == 2 * 4 * 8 * 10
+
+    def test_report_sorted_desc(self, rng):
+        tool = FlopsProfilingTool()
+        with amanda.apply(tool):
+            M.LeNet()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        rows = tool.report()
+        values = [row[2] for row in rows]
+        assert values == sorted(values, reverse=True)
+        assert rows[0][0] == "conv2d"  # convs dominate LeNet
+
+
+class TestSparsityTool:
+    def test_relu_activation_sparsity_about_half(self, rng):
+        tool = SparsityProfilingTool(op_types=("relu",))
+        with amanda.apply(tool):
+            F.relu(E.tensor(rng.standard_normal((100, 100))))
+        assert 0.4 < tool.mean_sparsity("activation") < 0.6
+
+    def test_weight_sparsity_detects_zeros(self, rng):
+        tool = SparsityProfilingTool(op_types=("linear",))
+        lin = E.Linear(10, 10, rng=rng)
+        lin.weight.data[:5] = 0.0
+        with amanda.apply(tool):
+            lin(E.tensor(rng.standard_normal((2, 10))))
+        assert tool.mean_sparsity("weight") == pytest.approx(0.5)
+
+    def test_composes_with_pruning_tool(self, rng):
+        """Sparsity profiler observes what the pruning tool produced."""
+        from repro.amanda.tools import MagnitudePruningTool
+        pruner = MagnitudePruningTool(sparsity=0.7, op_types=("linear",))
+        profiler = SparsityProfilingTool(op_types=("relu",))
+        lin = E.Linear(50, 50, rng=rng)
+        with amanda.apply(pruner, profiler):
+            F.relu(lin(E.tensor(rng.standard_normal((4, 50)))))
+        # pruned weights push more activations toward the relu cut
+        assert profiler.mean_sparsity("activation") > 0.3
+
+
+class TestKernelTool:
+    def test_kernel_events_attributed_to_ops(self, rng):
+        tool = KernelProfilingTool()
+        with amanda.apply(tool):
+            M.LeNet()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        ops = tool.op_level_breakdown()
+        assert "conv2d" in ops and "linear" in ops
+        assert all(seconds >= 0 for seconds in ops.values())
+
+    def test_conv_algorithm_mix_observed(self, rng):
+        tool = KernelProfilingTool()
+        with amanda.apply(tool):
+            M.resnet50()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        mix = tool.conv_algorithm_mix()
+        # ResNet50 mixes 1x1 (gemm) and 3x3 (winograd) convolutions
+        assert mix.get("conv2d_1x1_gemm", 0) > 0
+        assert mix.get("conv2d_winograd", 0) > 0
+
+    def test_kernel_level_breakdown_for_one_op(self, rng):
+        tool = KernelProfilingTool()
+        with amanda.apply(tool):
+            M.LeNet()(E.tensor(rng.standard_normal((1, 3, 16, 16))))
+        conv_kernels = tool.kernel_level_breakdown("conv2d")
+        assert conv_kernels  # e.g. im2col + gemm
+        total = tool.kernel_level_breakdown()
+        assert sum(total.values()) >= sum(conv_kernels.values())
+
+    def test_unsubscribed_after_apply(self, rng):
+        from repro.kernels.runtime import runtime
+        tool = KernelProfilingTool()
+        with amanda.apply(tool):
+            assert runtime.has_subscribers
+        assert not runtime.has_subscribers

@@ -1,0 +1,189 @@
+"""Pruning tools: mask properties (hypothesis) and end-to-end behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.amanda as amanda
+import repro.eager as E
+import repro.graph as G
+import repro.models.eager as M
+from repro.amanda.tools import (ActivationPruningTool, AttentionPruningTool,
+                                ChannelPruningTool, MagnitudePruningTool,
+                                TileWisePruningTool, VectorWisePruningTool)
+from repro.eager import F
+from repro.tools.pruning import magnitude_mask, n_m_mask, tile_mask
+
+
+class TestMaskFunctions:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=st.integers(1, 8), cols=st.integers(1, 8),
+           sparsity=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+    def test_magnitude_mask_sparsity_close_to_target(self, rows, cols,
+                                                     sparsity, seed):
+        weight = np.random.default_rng(seed).standard_normal((rows, cols))
+        mask = magnitude_mask(weight, sparsity)
+        assert mask.shape == weight.shape
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        achieved = (mask == 0).mean()
+        assert abs(achieved - sparsity) <= 1.0 / weight.size + 1e-9
+
+    def test_magnitude_mask_keeps_largest(self, rng):
+        weight = np.array([0.1, -5.0, 0.2, 3.0])
+        mask = magnitude_mask(weight, 0.5)
+        np.testing.assert_array_equal(mask, [0, 1, 0, 1])
+
+    def test_magnitude_mask_extremes(self, rng):
+        w = rng.standard_normal((3, 3))
+        assert magnitude_mask(w, 0.0).all()
+        assert not magnitude_mask(w, 1.0).any()
+
+    @settings(max_examples=30, deadline=None)
+    @given(m_rows=st.integers(2, 12), m_cols=st.integers(2, 12),
+           seed=st.integers(0, 1000))
+    def test_tile_mask_is_tile_structured(self, m_rows, m_cols, seed):
+        weight = np.random.default_rng(seed).standard_normal((m_rows, m_cols))
+        mask = tile_mask(weight, (2, 2), 0.5)
+        # within each full 2x2 tile the mask is constant
+        for r in range(0, m_rows - 1, 2):
+            for c in range(0, m_cols - 1, 2):
+                tile = mask[r:r + 2, c:c + 2]
+                assert tile.min() == tile.max()
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=st.integers(1, 6), groups=st.integers(1, 6),
+           seed=st.integers(0, 1000))
+    def test_n_m_mask_invariant(self, rows, groups, seed):
+        weight = np.random.default_rng(seed).standard_normal((rows, groups * 4))
+        mask = n_m_mask(weight, 2, 4)
+        grouped = mask.reshape(rows, groups, 4)
+        np.testing.assert_array_equal(grouped.sum(axis=2), 2)
+
+    def test_n_m_mask_keeps_largest_in_group(self):
+        weight = np.array([[1.0, 10.0, 2.0, 20.0]])
+        mask = n_m_mask(weight, 2, 4)
+        np.testing.assert_array_equal(mask, [[0, 1, 0, 1]])
+
+    def test_n_m_mask_ragged_tail_kept(self):
+        weight = np.ones((1, 6))  # one full group of 4 + tail of 2
+        mask = n_m_mask(weight, 2, 4)
+        np.testing.assert_array_equal(mask[0, 4:], [1, 1])
+
+
+class TestStaticPruningTools:
+    def test_magnitude_tool_masks_forward_and_backward(self, rng):
+        tool = MagnitudePruningTool(sparsity=0.5)
+        conv = E.Conv2d(3, 4, 3, padding=1, rng=rng)
+        x = E.tensor(rng.standard_normal((2, 3, 8, 8)))
+        with amanda.apply(tool):
+            out = conv(x)
+            out.sum().backward()
+        mask = next(iter(tool.masks.values()))
+        assert np.all(conv.weight.grad[mask == 0] == 0)
+        assert 0.4 < tool.overall_sparsity() < 0.6
+
+    def test_tile_wise_tool_on_linear(self, rng):
+        tool = TileWisePruningTool(tile_shape=(2, 2), sparsity=0.5)
+        lin = E.Linear(8, 8, rng=rng)
+        with amanda.apply(tool):
+            lin(E.tensor(rng.standard_normal((2, 8))))
+        mask = next(iter(tool.masks.values()))
+        for r in range(0, 8, 2):
+            for c in range(0, 8, 2):
+                tile = mask[r:r + 2, c:c + 2]
+                assert tile.min() == tile.max()
+
+    def test_vector_wise_tool_2_4(self, rng):
+        tool = VectorWisePruningTool(n=2, m=4)
+        lin = E.Linear(8, 4, rng=rng)
+        with amanda.apply(tool):
+            lin(E.tensor(rng.standard_normal((2, 8))))
+        assert abs(tool.overall_sparsity() - 0.5) < 1e-9
+
+    def test_same_tool_runs_on_graph_backend(self, rng):
+        from repro.graph import builder as gb
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((3, 3, 3, 4)), name="conv_w")
+            out = gb.reduce_mean(gb.conv2d(x, w, (1, 1), (1, 1)))
+            (gw,) = G.gradients(out, [w])
+        tool = MagnitudePruningTool(sparsity=0.5)
+        sess = G.Session(g)
+        with amanda.apply(tool):
+            grad = sess.run(gw, {x: rng.standard_normal((1, 6, 6, 3))})
+        mask = next(iter(tool.masks.values()))
+        # HWIO weight gradient is masked too
+        assert np.all(grad[mask == 0] == 0)
+
+    def test_pruned_weights_stay_pruned_through_training(self, rng):
+        tool = MagnitudePruningTool(sparsity=0.5, op_types=("linear",))
+        lin = E.Linear(6, 4, rng=rng)
+        opt = E.optim.SGD(lin.parameters(), lr=0.1)
+        x = E.tensor(rng.standard_normal((8, 6)))
+        y = E.tensor(rng.integers(0, 4, 8))
+        with amanda.apply(tool):
+            for _ in range(5):
+                opt.zero_grad()
+                loss = F.cross_entropy(lin(x), y)
+                loss.backward()
+                opt.step()
+        mask = next(iter(tool.masks.values()))
+        # gradient masking keeps pruned coordinates frozen at their value
+        # (effective weight = w * mask is what forward used)
+        assert np.all(lin.weight.grad[mask == 0] == 0)
+
+
+class TestDynamicPruningTools:
+    def test_channel_tool_zeroes_channels(self, rng):
+        tool = ChannelPruningTool(keep_ratio=0.5)
+        conv = E.Conv2d(4, 2, 1, rng=rng)
+        captured = {}
+
+        def spy(context):
+            return None
+
+        x = E.tensor(rng.standard_normal((1, 4, 4, 4)))
+        with amanda.apply(tool):
+            conv(x)
+        assert sum(tool.gate_counts.values()) == 2  # 4 channels, keep 2
+
+    def test_activation_tool_enforces_keep_ratio(self, rng):
+        tool = ActivationPruningTool(keep_ratio=0.25)
+        x = E.tensor(rng.standard_normal((4, 100)))
+        with amanda.apply(tool):
+            out = F.relu(x)
+        nonzero_fraction = (out.data != 0).mean()
+        assert nonzero_fraction <= 0.3
+
+    def test_attention_tool_renormalizes(self, rng):
+        tool = AttentionPruningTool(threshold_ratio=0.5)
+        x = E.tensor(rng.standard_normal((2, 4, 8)))
+        with amanda.apply(tool):
+            weights = F.softmax(x)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0, atol=1e-12)
+        assert (weights.data == 0).any()
+        assert tool.pruned_fraction and tool.pruned_fraction[0] > 0
+
+    def test_dynamic_pruning_reacts_to_each_batch(self, rng):
+        tool = ActivationPruningTool(keep_ratio=0.5)
+        outs = []
+        with amanda.apply(tool):
+            for _ in range(2):
+                x = E.tensor(rng.standard_normal((2, 50)))
+                outs.append(F.relu(x).data)
+                amanda.new_iteration()
+        # both batches pruned (not only the first: instrumentation reruns)
+        assert all((o == 0).mean() > 0.4 for o in outs)
+
+
+class TestPruningAccuracySemantics:
+    def test_masked_forward_equals_manual_masking(self, rng):
+        tool = MagnitudePruningTool(sparsity=0.5, op_types=("linear",))
+        lin = E.Linear(6, 3, rng=rng)
+        x = E.tensor(rng.standard_normal((5, 6)))
+        with amanda.apply(tool):
+            instrumented = lin(x).data
+        mask = next(iter(tool.masks.values()))
+        manual = x.data @ (lin.weight.data * mask).T + lin.bias.data
+        np.testing.assert_allclose(instrumented, manual, atol=1e-12)

@@ -1,0 +1,136 @@
+"""Quantization tools: quantizer properties (hypothesis) and tool behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.amanda as amanda
+import repro.eager as E
+from repro.amanda.tools import DynamicPTQTool, QATTool, StaticPTQTool
+from repro.eager import F
+from repro.tools.quantization import quantize_dequantize
+
+
+class TestQuantizeDequantize:
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(1, 64), bits=st.integers(2, 8),
+           seed=st.integers(0, 10_000))
+    def test_error_bounded_by_half_step(self, n, bits, seed):
+        array = np.random.default_rng(seed).standard_normal(n)
+        quantized = quantize_dequantize(array, bits=bits)
+        qmax = 2 ** (bits - 1) - 1
+        scale = np.abs(array).max() / qmax if np.abs(array).max() > 0 else 1.0
+        assert np.abs(quantized - array).max() <= scale / 2 + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 32), bits=st.integers(2, 8),
+           seed=st.integers(0, 10_000))
+    def test_idempotent(self, n, bits, seed):
+        array = np.random.default_rng(seed).standard_normal(n)
+        once = quantize_dequantize(array, bits=bits)
+        scale = np.abs(array).max() / (2 ** (bits - 1) - 1)
+        twice = quantize_dequantize(once, bits=bits, scale=scale)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(2, 8), seed=st.integers(0, 10_000))
+    def test_level_count_bounded(self, bits, seed):
+        array = np.random.default_rng(seed).standard_normal(500)
+        quantized = quantize_dequantize(array, bits=bits)
+        assert len(np.unique(quantized)) <= 2 ** bits
+
+    def test_zero_array(self):
+        np.testing.assert_array_equal(
+            quantize_dequantize(np.zeros(4)), np.zeros(4))
+
+    def test_explicit_scale_clips_outliers(self):
+        array = np.array([100.0, 0.5])
+        out = quantize_dequantize(array, bits=8, scale=0.01)
+        assert out[0] == pytest.approx(1.27)  # clipped at qmax * scale
+
+
+class TestPTQTools:
+    def test_static_ptq_quantizes_weights_only(self, rng):
+        tool = StaticPTQTool(bits=4)
+        lin = E.Linear(6, 3, rng=rng)
+        x = E.tensor(rng.standard_normal((5, 6)))
+        with amanda.apply(tool):
+            out = lin(x).data
+        quantized_w = quantize_dequantize(lin.weight.data, bits=4)
+        want = x.data @ quantized_w.T + lin.bias.data
+        np.testing.assert_allclose(out, want, atol=1e-12)
+        assert tool.weight_scales
+
+    def test_dynamic_ptq_also_quantizes_activations(self, rng):
+        static = StaticPTQTool(bits=4)
+        dynamic = DynamicPTQTool(bits=4)
+        lin = E.Linear(6, 3, rng=rng)
+        x = E.tensor(rng.standard_normal((5, 6)))
+        with amanda.apply(static):
+            static_out = lin(x).data
+        with amanda.apply(dynamic):
+            dynamic_out = lin(x).data
+        quantized_w = quantize_dequantize(lin.weight.data, bits=4)
+        quantized_x = quantize_dequantize(x.data, bits=4)
+        want = quantized_x @ quantized_w.T + lin.bias.data
+        np.testing.assert_allclose(dynamic_out, want, atol=1e-12)
+        assert not np.allclose(dynamic_out, static_out)
+
+    def test_lower_bits_higher_error(self, rng):
+        lin = E.Linear(16, 8, rng=rng)
+        x = E.tensor(rng.standard_normal((10, 16)))
+        reference = lin(x).data
+
+        def error(bits):
+            tool = StaticPTQTool(bits=bits)
+            with amanda.apply(tool):
+                return np.abs(lin(x).data - reference).mean()
+
+        assert error(2) > error(4) > error(8)
+
+    def test_ptq_applies_to_conv(self, rng):
+        tool = StaticPTQTool(bits=8)
+        conv = E.Conv2d(3, 4, 3, rng=rng)
+        with amanda.apply(tool):
+            conv(E.tensor(rng.standard_normal((1, 3, 6, 6))))
+        assert len(tool.weight_scales) == 1
+
+
+class TestQAT:
+    def test_gradients_flow_through_quantizer(self, rng):
+        tool = QATTool(bits=8)
+        lin = E.Linear(6, 3, rng=rng)
+        x = E.tensor(rng.standard_normal((5, 6)))
+        with amanda.apply(tool):
+            lin(x).sum().backward()
+        # STE: the original weight still receives a (nonzero) gradient
+        assert lin.weight.grad is not None
+        assert np.abs(lin.weight.grad).sum() > 0
+
+    def test_qat_training_reduces_loss(self, rng):
+        from repro.data import ClassificationDataset
+        data = ClassificationDataset(train_n=32, test_n=16, size=8)
+        mlp = E.Sequential(E.Flatten(), E.Linear(3 * 8 * 8, 16, rng=rng),
+                           E.ReLU(), E.Linear(16, 4, rng=rng))
+        opt = E.optim.SGD(mlp.parameters(), lr=0.05, momentum=0.9)
+        tool = QATTool(bits=8)
+        losses = []
+        with amanda.apply(tool):
+            for _ in range(15):
+                opt.zero_grad()
+                logits = mlp(E.tensor(data.train_x))
+                loss = F.cross_entropy(logits, E.tensor(data.train_y))
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_gradient_clipping_zeroes_saturated(self, rng):
+        tool = QATTool(bits=2)  # tiny range: plenty of saturation
+        lin = E.Linear(8, 4, rng=rng)
+        lin.weight.data[0, 0] = 100.0  # far outside quantizer range? no: scale adapts
+        x = E.tensor(rng.standard_normal((5, 8)))
+        with amanda.apply(tool):
+            lin(x).sum().backward()
+        assert lin.weight.grad is not None

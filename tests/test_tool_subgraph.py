@@ -1,0 +1,96 @@
+"""Subgraph rewriting tool: pattern matching and chain replacement."""
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.eager as E
+from repro.amanda.tools import SubgraphRewritingTool
+from repro.eager import F
+
+
+def test_matches_linear_relu_chain(rng):
+    tool = SubgraphRewritingTool(
+        pattern=["linear", "relu"],
+        rewrite=lambda contexts: [None, None])
+    lin = E.Linear(4, 4, rng=rng)
+    x = E.tensor(rng.standard_normal((2, 4)))
+    with amanda.apply(tool):
+        F.relu(lin(x))
+    assert len(tool.matches) == 1
+    assert len(tool.matches[0]) == 2
+
+
+def test_no_match_without_chain(rng):
+    tool = SubgraphRewritingTool(
+        pattern=["linear", "relu"],
+        rewrite=lambda contexts: [None, None])
+    x = E.tensor(rng.standard_normal((2, 4)))
+    with amanda.apply(tool):
+        F.relu(x)  # relu without a producing linear
+    assert tool.matches == []
+
+
+def test_replace_tail_of_chain(rng):
+    """Fuse linear+relu: relu replaced immediately (it is the matched op)."""
+    tool = SubgraphRewritingTool(
+        pattern=["linear", "relu"],
+        rewrite=lambda contexts: [None, lambda a: a * 0.0])
+    lin = E.Linear(4, 4, rng=rng)
+    x = E.tensor(rng.standard_normal((2, 4)))
+    with amanda.apply(tool):
+        out = F.relu(lin(x))
+    np.testing.assert_allclose(out.data, 0.0)
+
+
+def test_earlier_op_replacement_applies_next_iteration(rng):
+    """Eager mode: replacing the chain head takes effect from the next
+    execution (the analysis of the tail runs after the head already ran)."""
+    tool = SubgraphRewritingTool(
+        pattern=["linear", "relu"],
+        rewrite=lambda contexts: ["identity", None])
+    lin = E.Linear(4, 4, rng=rng)
+    x = E.tensor(rng.standard_normal((2, 4)))
+    model = E.Sequential(lin, E.ReLU())
+    with amanda.apply(tool):
+        first = model(x)
+        second = model(x)
+    reference = x.data @ lin.weight.data.T + lin.bias.data
+    np.testing.assert_allclose(first.data, np.maximum(reference, 0))
+    # second iteration: linear replaced by identity -> relu(x)
+    np.testing.assert_allclose(second.data, np.maximum(x.data, 0))
+
+
+def test_three_op_pattern(rng):
+    tool = SubgraphRewritingTool(
+        pattern=["linear", "relu", "linear"],
+        rewrite=lambda contexts: [None, None, None])
+    l1, l2 = E.Linear(4, 4, rng=rng), E.Linear(4, 4, rng=rng)
+    x = E.tensor(rng.standard_normal((2, 4)))
+    with amanda.apply(tool):
+        l2(F.relu(l1(x)))
+    assert len(tool.matches) == 1
+    assert len(tool.matches[0]) == 3
+
+
+def test_graph_mode_rewrite_applies_immediately(rng):
+    """In graph mode all analysis precedes execution (two-phase rewrite), so
+    replacing the chain head applies to the very first run."""
+    import repro.graph as G
+    from repro.graph import builder as gb
+
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(rng.standard_normal((4, 4)), name="w")
+        out = gb.relu(gb.matmul(x, w))
+
+    tool = SubgraphRewritingTool(
+        pattern=["matmul", "relu"],
+        rewrite=lambda contexts: [None, lambda a: a * 0.0])
+    sess = G.Session(g)
+    xv = rng.standard_normal((2, 4))
+    with amanda.apply(tool):
+        result = sess.run(out, {x: xv})
+    assert len(tool.matches) == 1
+    np.testing.assert_allclose(result, 0.0)
+    vanilla = sess.run(out, {x: xv})
+    assert np.abs(vanilla).sum() > 0
