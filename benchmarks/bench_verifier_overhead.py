@@ -1,0 +1,52 @@
+"""Verifier overhead — static verification wall-time vs graph size.
+
+The graph verifier runs once per instrumented graph (then the result is
+cached with the graph), so its cost must stay small relative to a single
+rewrite.  This bench measures ``verify_graph`` wall-time on forward+backward
+ResNet graphs of increasing depth and reports the per-op cost and the
+verify/rewrite time ratio.
+
+Expected shape: verification scales roughly linearly in op count (it is one
+topological sweep plus per-op schema checks) and stays within a small
+multiple of the rewrite cost it guards.
+"""
+
+import repro.models.graph.builders as GM
+from repro.analysis.verify import verify_graph
+from repro.graph.rewrite import copy_graph
+
+from _common import report, wall_time
+
+RESNET_SIZES = {
+    "resnet-10": (1, 1, 1, 1),
+    "resnet-18": (2, 2, 2, 2),
+    "resnet-34": (3, 4, 6, 3),
+}
+FEEDS = {"input": (2, 16, 16, 3), "labels": (2,)}
+
+
+def run_all():
+    rows = ["model        ops   verify_ms  us/op   rewrite_ms  ratio"]
+    for name, layers in RESNET_SIZES.items():
+        gm = GM.build_resnet(layers=layers, bottleneck=False,
+                             learning_rate=0.1)
+        graph = gm.graph
+        num_ops = len(graph.operations)
+
+        verify_s = wall_time(
+            lambda: verify_graph(graph, feed_shapes=FEEDS), repeats=3)
+        rewrite_s = wall_time(lambda: copy_graph(graph), repeats=3)
+
+        result = verify_graph(graph, feed_shapes=FEEDS)
+        assert result.ok, str(result)
+
+        rows.append(
+            f"{name:<12} {num_ops:>4}  {verify_s * 1e3:>8.1f}  "
+            f"{verify_s / num_ops * 1e6:>5.1f}  {rewrite_s * 1e3:>9.1f}  "
+            f"{verify_s / rewrite_s:>5.1f}x")
+    return rows
+
+
+def test_verifier_overhead(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("verifier_overhead", rows)

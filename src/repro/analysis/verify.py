@@ -1,0 +1,346 @@
+"""Static graph verifier: structural invariants + shape propagation.
+
+Runs entirely at rewrite time — no kernel executes.  Checks, in order:
+
+1. **naming** — every op is uniquely named and indexed in the graph;
+2. **dangling references** — every input edge and control dependency points
+   at an operation that is actually part of this graph, at a valid output
+   index;
+3. **acyclicity** — the data/control dependency relation is a DAG (the
+   session's planner would recurse forever otherwise);
+4. **orphaned PyCall wrappers** — an instrumentation wrapper whose outputs
+   nothing consumes (and that no fetch redirect points at) signals a rewrite
+   that lost its rewiring step;
+5. **fetch-redirect consistency** — every redirect recorded by the graph
+   driver maps a tensor of the *vanilla* graph onto a live wrapper output of
+   the instrumented copy;
+6. **schema conformance + shape propagation** — each op is checked against
+   its :class:`~repro.analysis.schemas.OpSchema` (arity, output count,
+   attribute types) and partial shapes are propagated through the full
+   forward+backward graph; the first inconsistency is reported with an
+   op-level provenance trail of the producer chain that fed it.
+
+Every problem is an :class:`Issue` carrying the offending op's name/type and
+a provenance trail.  :func:`verify_graph` is the one-call entry point; the
+graph driver invokes it on every freshly instrumented graph when verification
+is enabled (opt-in ``verify=True``, on by default under pytest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..graph.core import SKIP_TYPES, Graph, GraphTensor, Operation
+from .schemas import (GRAPH_SCHEMAS, InferenceError, InferEnv,
+                      check_op_against_schema)
+
+__all__ = ["Issue", "VerificationReport", "VerificationError",
+           "GraphVerifier", "verify_graph"]
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One verification finding, anchored to a specific operation."""
+
+    kind: str          # dangling-input | duplicate-name | cycle | ...
+    op_name: str
+    op_type: str
+    message: str
+    #: producer-chain provenance: outermost entry is the offending op
+    trail: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        text = f"[{self.kind}] {self.op_name} ({self.op_type}): {self.message}"
+        if self.trail:
+            text += "\n  provenance:\n    " + "\n    ".join(self.trail)
+        return text
+
+
+class VerificationError(RuntimeError):
+    """Raised when a verified graph has issues and raising was requested."""
+
+    def __init__(self, report: "VerificationReport") -> None:
+        super().__init__(str(report))
+        self.report = report
+
+
+@dataclass
+class VerificationReport:
+    graph: Graph
+    issues: list[Issue] = field(default_factory=list)
+    #: tensor name -> inferred partial shape (filled by shape propagation)
+    shapes: dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def issues_of_kind(self, kind: str) -> list[Issue]:
+        return [issue for issue in self.issues if issue.kind == kind]
+
+    def raise_if_failed(self) -> "VerificationReport":
+        if self.issues:
+            raise VerificationError(self)
+        return self
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (f"graph OK ({len(self.graph.operations)} ops, "
+                    f"{len(self.shapes)} tensor shapes inferred)")
+        header = (f"graph verification failed with {len(self.issues)} "
+                  f"issue(s):")
+        return "\n".join([header] + [str(issue) for issue in self.issues])
+
+
+class GraphVerifier:
+    """Verifies one graph; see the module docstring for the invariant list."""
+
+    def __init__(self, graph: Graph,
+                 feed_shapes: Mapping[str, tuple] | None = None,
+                 redirects: Mapping[str, GraphTensor] | None = None,
+                 source_graph: Graph | None = None) -> None:
+        self.graph = graph
+        self.feed_shapes = {
+            name.partition(":")[0]: tuple(shape)
+            for name, shape in (feed_shapes or {}).items()}
+        self.redirects = dict(redirects or {})
+        self.source_graph = source_graph
+        self.report = VerificationReport(graph)
+        self._member_ids = {id(op) for op in graph.operations}
+
+    # -- public ----------------------------------------------------------------
+    def run(self) -> VerificationReport:
+        self._check_names()
+        self._check_dangling()
+        has_cycle = self._check_cycles()
+        self._check_orphan_pycalls()
+        self._check_redirects()
+        if not has_cycle:
+            self._propagate_shapes()
+        return self.report
+
+    # -- helpers ----------------------------------------------------------------
+    def _issue(self, kind: str, op: Operation, message: str,
+               trail: Iterable[str] = ()) -> None:
+        self.report.issues.append(
+            Issue(kind, op.name, op.type, message, tuple(trail)))
+
+    def _provenance(self, op: Operation, depth: int = 4) -> list[str]:
+        """Producer-chain trail: the op, then what fed it, a few levels up."""
+        trail = []
+        frontier: list[tuple[Operation, int]] = [(op, 0)]
+        seen: set[int] = set()
+        while frontier:
+            node, level = frontier.pop(0)
+            if id(node) in seen or level > depth:
+                continue
+            seen.add(id(node))
+            shapes = [self.report.shapes.get(t.name, "?") for t in node.outputs]
+            indent = "  " * level
+            trail.append(f"{indent}{node.name} ({node.type}) -> "
+                         f"{', '.join(map(str, shapes))}")
+            for edge in node.inputs:
+                frontier.append((edge.op, level + 1))
+        return trail
+
+    # -- structural checks -------------------------------------------------------
+    def _check_names(self) -> None:
+        seen: dict[str, Operation] = {}
+        for op in self.graph.operations:
+            if op.name in seen:
+                self._issue("duplicate-name", op,
+                            f"name collides with earlier op of type "
+                            f"{seen[op.name].type}")
+                continue
+            seen[op.name] = op
+            if self.graph._by_name.get(op.name) is not op:
+                self._issue("duplicate-name", op,
+                            "operation is not indexed in the graph's name "
+                            "table")
+
+    def _check_dangling(self) -> None:
+        for op in self.graph.operations:
+            for position, edge in enumerate(op.inputs):
+                if id(edge.op) not in self._member_ids:
+                    self._issue(
+                        "dangling-input", op,
+                        f"input #{position} is tensor {edge.name!r} of op "
+                        f"{edge.op.name!r} ({edge.op.type}), which is not "
+                        f"part of this graph",
+                        self._provenance(op, depth=1))
+                elif edge.index >= len(edge.op.outputs):
+                    self._issue(
+                        "dangling-input", op,
+                        f"input #{position} references output {edge.index} "
+                        f"of {edge.op.name!r}, which only has "
+                        f"{len(edge.op.outputs)} output(s)")
+            for control in op.control_inputs:
+                if id(control) not in self._member_ids:
+                    self._issue(
+                        "dangling-input", op,
+                        f"control dependency on {control.name!r}, which is "
+                        f"not part of this graph")
+
+    def _check_cycles(self) -> bool:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[int, int] = {}
+        found = False
+        for root in self.graph.operations:
+            if color.get(id(root), WHITE) != WHITE:
+                continue
+            # iterative DFS with an explicit path for cycle provenance
+            stack: list[tuple[Operation, Iterable]] = [(root, iter(
+                self._dependencies(root)))]
+            color[id(root)] = GRAY
+            path = [root]
+            while stack:
+                node, deps = stack[-1]
+                dep = next(deps, None)
+                if dep is None:
+                    color[id(node)] = BLACK
+                    stack.pop()
+                    path.pop()
+                    continue
+                if id(dep) not in self._member_ids:
+                    continue  # reported as dangling already
+                state = color.get(id(dep), WHITE)
+                if state == GRAY:
+                    start = next(i for i, p in enumerate(path)
+                                 if p is dep)
+                    cycle = path[start:] + [dep]
+                    self._issue(
+                        "cycle", dep,
+                        "dependency cycle: " + " -> ".join(
+                            f"{p.name} ({p.type})" for p in cycle),
+                        tuple(f"{p.name} ({p.type})" for p in cycle))
+                    found = True
+                elif state == WHITE:
+                    color[id(dep)] = GRAY
+                    stack.append((dep, iter(self._dependencies(dep))))
+                    path.append(dep)
+        return found
+
+    @staticmethod
+    def _dependencies(op: Operation) -> list[Operation]:
+        return [edge.op for edge in op.inputs] + list(op.control_inputs)
+
+    def _check_orphan_pycalls(self) -> None:
+        consumed: set[str] = set()
+        for op in self.graph.operations:
+            for edge in op.inputs:
+                consumed.add(edge.name)
+        redirect_targets = {tensor.name
+                            for tensor in self.redirects.values()}
+        for op in self.graph.operations:
+            if op.type != "PyCall" or "pycall_role" not in op.tags:
+                continue
+            live = any(t.name in consumed or t.name in redirect_targets
+                       for t in op.outputs)
+            if not live:
+                self._issue(
+                    "orphan-pycall", op,
+                    f"instrumentation wrapper ({op.tags['pycall_role']}) "
+                    "has no consumers and no fetch redirect points at it — "
+                    "the rewrite lost its rewiring step",
+                    self._provenance(op, depth=1))
+
+    def _check_redirects(self) -> None:
+        for original_name, target in self.redirects.items():
+            op = target.op
+            if id(op) not in self._member_ids:
+                self._issue(
+                    "redirect", op,
+                    f"fetch redirect {original_name!r} -> {target.name!r} "
+                    "points outside the instrumented graph")
+                continue
+            if op.type != "PyCall":
+                self._issue(
+                    "redirect", op,
+                    f"fetch redirect {original_name!r} -> {target.name!r} "
+                    "does not target an instrumentation wrapper")
+            source = self.source_graph or self.graph
+            base = original_name.partition(":")[0]
+            if base not in source._by_name:
+                self._issue(
+                    "redirect", op,
+                    f"fetch redirect source tensor {original_name!r} does "
+                    "not exist in the vanilla graph")
+
+    # -- shape propagation ---------------------------------------------------------
+    def _topological_order(self) -> list[Operation]:
+        order: list[Operation] = []
+        state: dict[int, int] = {}
+        for root in self.graph.operations:
+            if state.get(id(root)):
+                continue
+            stack = [(root, iter(self._dependencies(root)))]
+            state[id(root)] = 1
+            while stack:
+                node, deps = stack[-1]
+                dep = next(deps, None)
+                if dep is None:
+                    state[id(node)] = 2
+                    order.append(node)
+                    stack.pop()
+                elif id(dep) in self._member_ids \
+                        and not state.get(id(dep)):
+                    state[id(dep)] = 1
+                    stack.append((dep, iter(self._dependencies(dep))))
+        return order
+
+    def _propagate_shapes(self) -> None:
+        env = InferEnv(variables=self.graph.variables,
+                       feed_shapes=self.feed_shapes)
+        shapes = self.report.shapes
+        for op in self._topological_order():
+            schema = GRAPH_SCHEMAS.get(op.type)
+            if schema is None:
+                self._issue("unknown-op", op,
+                            "no schema registered for this op type "
+                            "(see analysis/schemas.py)")
+                for tensor in op.outputs:
+                    shapes[tensor.name] = None
+                continue
+            for problem in check_op_against_schema(op, schema):
+                self._issue("schema", op, problem)
+            in_shapes = [shapes.get(edge.name) for edge in op.inputs]
+            out_shapes = [None] * len(op.outputs)
+            if schema.infer is not None:
+                try:
+                    inferred = schema.infer(op, in_shapes, env)
+                except InferenceError as exc:
+                    self._issue("shape-mismatch", op, str(exc),
+                                self._provenance(op))
+                except Exception as exc:  # schema bug: degrade, keep going
+                    self._issue("shape-mismatch", op,
+                                f"shape inference crashed: {exc!r}",
+                                self._provenance(op))
+                else:
+                    for index, shape in enumerate(inferred[:len(out_shapes)]):
+                        out_shapes[index] = shape
+            for tensor, shape in zip(op.outputs, out_shapes):
+                shapes[tensor.name] = shape
+
+
+def verify_graph(graph: Graph,
+                 feed_shapes: Mapping[str, tuple] | None = None,
+                 redirects: Mapping[str, GraphTensor] | None = None,
+                 source_graph: Graph | None = None,
+                 raise_on_error: bool = False) -> VerificationReport:
+    """Verify structural + shape invariants of ``graph``.
+
+    ``feed_shapes`` seeds placeholder shapes (op name -> shape).
+    ``redirects`` / ``source_graph`` enable the fetch-redirect consistency
+    check for instrumented copies produced by the graph driver.
+    """
+    report = GraphVerifier(graph, feed_shapes=feed_shapes,
+                           redirects=redirects,
+                           source_graph=source_graph).run()
+    if raise_on_error:
+        report.raise_if_failed()
+    return report
+
+
+# re-exported so the verifier and the driver share one skip list
+assert "PyCall" in SKIP_TYPES and "NoOp" in SKIP_TYPES

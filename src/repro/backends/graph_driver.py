@@ -16,6 +16,7 @@ Mirrors the paper's TensorFlow driver:
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -26,28 +27,41 @@ from ..core.ids import OpIdAssigner
 from ..core.interceptor import Interceptor
 from ..core.manager import register_driver_factory
 from ..eager import alloc
-from ..graph.core import Graph, Operation
+from ..graph.core import SKIP_TYPES, Graph, Operation
 from ..graph.rewrite import GraphRewriter, copy_graph
 from ..graph.session import Session
 from .interface import BackendDriver, SymbolicInput
 
 __all__ = ["GraphDriver"]
 
-#: helper node types that are never themselves instrumented
-_SKIP_TYPES = {"PyCall", "NoOp"}
-
 
 class GraphDriver(BackendDriver):
     namespace = "graph"
     mode = "graph"
 
-    def __init__(self, manager) -> None:
+    def __init__(self, manager, verify: bool | None = None) -> None:
         super().__init__(manager)
         self._interceptor = Interceptor()
         #: (graph id, graph version, tool epoch) -> (instrumented graph,
         #: tensor-name redirects pointing fetches at inserted wrapper outputs)
         self._graph_cache: dict[tuple, tuple[Graph, dict]] = {}
         self.rewrite_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: run the static verifier on every freshly instrumented graph.
+        #: None = auto: on under pytest or with REPRO_VERIFY_GRAPHS=1.
+        self.verify = verify
+        #: per-op contexts of the most recent rewrite (lint-pass input)
+        self.last_contexts: list[OpContext] = []
+        #: verification report of the most recent rewrite (when verifying)
+        self.last_report = None
+
+    @property
+    def _should_verify(self) -> bool:
+        if self.verify is not None:
+            return self.verify
+        return ("PYTEST_CURRENT_TEST" in os.environ
+                or os.environ.get("REPRO_VERIFY_GRAPHS") == "1")
 
     # -- lifecycle --------------------------------------------------------------
     def attach(self) -> None:
@@ -56,6 +70,11 @@ class GraphDriver(BackendDriver):
     def detach(self) -> None:
         self._interceptor.restore_all()
         self._graph_cache.clear()
+        self.rewrite_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.last_contexts = []
+        self.last_report = None
 
     # -- run interception ----------------------------------------------------------
     def _intercept_run(self, session: Session, fetches, feed, run_impl):
@@ -65,9 +84,13 @@ class GraphDriver(BackendDriver):
         key = session.graph.fingerprint() + (mgr.tool_epoch,)
         entry = self._graph_cache.get(key) if mgr.cache_enabled else None
         if entry is None:
-            entry = self._instrument_graph(session.graph)
+            self.cache_misses += 1
+            entry = self._instrument_graph(session.graph, feed_shapes={
+                name: np.asarray(value).shape for name, value in feed.items()})
             if mgr.cache_enabled:
                 self._graph_cache[key] = entry
+        else:
+            self.cache_hits += 1
         instrumented, redirects = entry
         mapped = []
         for tensor in fetches:
@@ -78,7 +101,8 @@ class GraphDriver(BackendDriver):
         return run_impl(instrumented, mapped, feed)
 
     # -- rewriting ---------------------------------------------------------------
-    def _instrument_graph(self, graph: Graph) -> tuple[Graph, dict]:
+    def _instrument_graph(self, graph: Graph,
+                          feed_shapes: dict | None = None) -> tuple[Graph, dict]:
         start = time.perf_counter()
         self.rewrite_count += 1
         mgr = self.manager
@@ -87,7 +111,7 @@ class GraphDriver(BackendDriver):
         # framework bookkeeping memory (Fig. 13)
         alloc.tracker.allocate(512 * max(1, len(clone.operations)),
                                scope="amanda")
-        rewriter = GraphRewriter(clone)
+        rewriter = GraphRewriter(clone, verify=self._should_verify)
         redirects: dict = {}
         # stable ids: deterministic assignment over the op stream
         ids = OpIdAssigner()
@@ -105,7 +129,7 @@ class GraphDriver(BackendDriver):
         analyzed: list[tuple[Operation, OpContext]] = []
         backward_analyzed: list[tuple[Operation, OpContext, list]] = []
         for op in snapshot:
-            if op.type in _SKIP_TYPES or op.forward_op is not None:
+            if op.type in SKIP_TYPES or op.forward_op is not None:
                 continue
             op.op_id = ids.assign(op.type)
             context = self._build_forward_context(clone, op)
@@ -133,6 +157,17 @@ class GraphDriver(BackendDriver):
                      or a.backward_op == bop.type)
             ]
             self._apply_backward_actions(rewriter, bop, applicable, redirects)
+
+        self.last_contexts = ([context for _, context in analyzed]
+                              + [bcontext for _, bcontext, _
+                                 in backward_analyzed])
+
+        if self._should_verify:
+            # lazy import: analysis sits above the driver in the layering
+            from ..analysis.verify import verify_graph
+            self.last_report = verify_graph(
+                clone, feed_shapes=feed_shapes, redirects=redirects,
+                source_graph=graph, raise_on_error=True)
 
         elapsed = time.perf_counter() - start
         tool_time = mgr.timers["tool"] - tool_time_before

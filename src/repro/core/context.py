@@ -40,10 +40,13 @@ class OpContext(dict):
         #: set when a user tool stored state (e.g. a pruning mask) — the
         #: driver must then keep providing this context to backward ops
         self.has_user_state = False
+        #: the keys user tools stored (lint pass: cache-safety analysis)
+        self.user_keys: set[str] = set()
 
     def __setitem__(self, key: str, value: Any) -> None:
         if not self._transform_write and key not in self.RESERVED:
             self.has_user_state = True
+            self.user_keys.add(key)
         super().__setitem__(key, value)
 
     # -- inspection APIs (Lst. 4) --------------------------------------------

@@ -24,7 +24,13 @@ from typing import Any, Iterable
 import numpy as np
 
 __all__ = ["Graph", "GraphTensor", "Operation", "VariableStore",
-           "default_graph", "get_default_graph", "GraphFinalizedError"]
+           "default_graph", "get_default_graph", "GraphFinalizedError",
+           "SKIP_TYPES"]
+
+#: op types the instrumentation machinery never analyzes or re-instruments:
+#: ``PyCall`` nodes are themselves instrumentation artifacts and ``NoOp``
+#: anchors carry no data.  Shared by the graph driver and the static verifier.
+SKIP_TYPES = frozenset({"PyCall", "NoOp"})
 
 
 class GraphFinalizedError(RuntimeError):

@@ -50,10 +50,31 @@ def copy_graph(graph: Graph) -> tuple[Graph, dict[str, Operation]]:
 
 
 class GraphRewriter:
-    """Edits an instrumented graph copy: insert, replace, rewire."""
+    """Edits an instrumented graph copy: insert, replace, rewire.
 
-    def __init__(self, graph: Graph) -> None:
+    With ``verify=True`` each mutation is preceded by cheap membership and
+    index checks, so a tool editing a stale op handle fails at the call site
+    instead of producing a dangling graph (the full invariant sweep lives in
+    :mod:`repro.analysis.verify`).
+    """
+
+    def __init__(self, graph: Graph, verify: bool = False) -> None:
         self.graph = graph
+        self.verify = verify
+
+    def _check_target(self, op: Operation, indices=(), of: str = "input") -> None:
+        if not self.verify:
+            return
+        if self.graph._by_name.get(op.name) is not op:
+            raise ValueError(
+                f"cannot rewrite {op.name!r} ({op.type}): the op is not part "
+                "of this rewriter's graph (stale handle from another copy?)")
+        pool = op.inputs if of == "input" else op.outputs
+        for index in indices:
+            if not 0 <= index < len(pool):
+                raise ValueError(
+                    f"cannot rewrite {op.name!r} ({op.type}): {of} index "
+                    f"{index} out of range (has {len(pool)})")
 
     def _consumers(self, tensor: GraphTensor,
                    exclude: Operation | None = None) -> list[tuple[Operation, int]]:
@@ -81,9 +102,11 @@ class GraphRewriter:
         as many outputs (a single array when one index is selected).
         """
         indices = tuple(input_indices)
+        self._check_target(op, indices, of="input")
         originals = [op.inputs[i] for i in indices]
         with _internal(self.graph):
             node = py_call(func, originals, num_outputs=len(indices), name=name)
+        node.tags["pycall_role"] = "wrap"
         node.tags.update(tags or {})
         for position, input_index in enumerate(indices):
             op.inputs[input_index] = node.outputs[position]
@@ -101,9 +124,11 @@ class GraphRewriter:
                              tags: dict | None = None) -> Operation:
         """Route all consumers of several outputs through one PyCall node."""
         indices = tuple(output_indices)
+        self._check_target(op, indices, of="output")
         tensors = [op.outputs[i] for i in indices]
         with _internal(self.graph):
             node = py_call(func, tensors, num_outputs=len(indices), name=name)
+        node.tags["pycall_role"] = "wrap"
         node.tags.update(tags or {})
         for position, tensor in enumerate(tensors):
             for consumer, index in self._consumers(tensor, exclude=node):
@@ -118,9 +143,11 @@ class GraphRewriter:
         The callback receives the op's input arrays and must return as many
         outputs as the original op produced.
         """
+        self._check_target(op)
         with _internal(self.graph):
             node = py_call(func, list(op.inputs),
                            num_outputs=len(op.outputs), name=name)
+        node.tags["pycall_role"] = "replace"
         node.tags.update(tags or {})
         for out_index, tensor in enumerate(op.outputs):
             for consumer, index in self._consumers(tensor, exclude=node):

@@ -130,6 +130,10 @@ class _StaticWeightPruningTool(Tool):
         if value is None:
             return  # symbolic (non-variable) weight: nothing to prune
         mask = self.compute_mask(np.asarray(value))
+        # static check before any rewrite: a mis-shaped mask would silently
+        # broadcast (or explode) inside the instrumented graph
+        from ..analysis.schemas import validate_mask_shape
+        validate_mask_shape(mask, value, context.get("type"))
         context["mask"] = mask
         self.masks[context.get_op_id()] = mask
         context.insert_before_op(self.mask_forward_weight, inputs=[1], mask=mask)

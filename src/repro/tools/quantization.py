@@ -58,7 +58,11 @@ class _QuantizationToolBase(Tool):
             return None
         qmax = 2 ** (self.bits - 1) - 1
         max_abs = float(np.max(np.abs(value)))
-        return max_abs / qmax if max_abs > 0 else 1.0
+        scale = max_abs / qmax if max_abs > 0 else 1.0
+        # static check before any rewrite: NaN weights yield a NaN scale that
+        # would silently poison every instrumented forward pass
+        from ..analysis.schemas import validate_scale
+        return validate_scale(scale, context.get("type"))
 
     @staticmethod
     def quantize_weight(weight, bits=8, scale=None):

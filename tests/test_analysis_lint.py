@@ -1,0 +1,180 @@
+"""Instrumentation lint pass: tool-composition conflicts."""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.graph as G
+from repro.analysis.lint import lint_contexts
+from repro.amanda import Tool
+from repro.graph import builder as gb
+
+
+@pytest.fixture
+def relu_graph(rng):
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        w = gb.variable(np.abs(rng.standard_normal((4, 3))) + 0.1, name="w")
+        logits = gb.relu(gb.matmul(x, w))
+        loss = gb.reduce_mean(gb.square(logits))
+    return g, x, logits, loss
+
+
+def _instrument(graph, *tools, feed_shapes=None):
+    """Statically instrument the graph and return (driver, manager)."""
+    with amanda.apply(*tools) as mgr:
+        driver = next(d for d in mgr._drivers if d.namespace == "graph")
+        driver.verify = False
+        driver._instrument_graph(graph, feed_shapes=feed_shapes)
+        contexts = list(driver.last_contexts)
+    return contexts, mgr
+
+
+class TestReplaceConflict:
+    def test_two_real_tools_replacing_same_op(self, relu_graph):
+        # two SubgraphRewritingTool instances (real tools from repro.tools)
+        # each believe they own the relu op
+        from repro.tools.subgraph import SubgraphRewritingTool
+        t1 = SubgraphRewritingTool(["relu"],
+                                   lambda chain: [lambda a: a * 2.0])
+        t2 = SubgraphRewritingTool(["relu"], lambda chain: ["identity"])
+        t1.name = "double_relu"
+        t2.name = "remove_relu"
+        contexts, _ = _instrument(relu_graph[0], t1, t2)
+        issues = [i for i in lint_contexts(contexts)
+                  if i.rule == "replace-conflict"]
+        assert issues, "conflict between two replacing tools not detected"
+        issue = issues[0]
+        assert issue.op_type == "Relu"
+        assert set(issue.tools) == {"double_relu", "remove_relu"}
+        assert "only the last replacement takes effect" in issue.message
+
+    def test_single_replacement_is_clean(self, relu_graph):
+        from repro.tools.subgraph import SubgraphRewritingTool
+        t1 = SubgraphRewritingTool(["relu"], lambda chain: ["identity"])
+        contexts, _ = _instrument(relu_graph[0], t1)
+        assert not [i for i in lint_contexts(contexts)
+                    if i.rule == "replace-conflict"]
+
+
+class TestInsertAfterFetch:
+    def test_wrapper_on_fetch_target_flagged(self, relu_graph):
+        g, x, logits, loss = relu_graph
+        tool = Tool("observer")
+        tool.add_inst_for_op(
+            lambda context: context.insert_after_op(lambda a: a * 0.5)
+            if context["type"] == "Relu" else None)
+        contexts, _ = _instrument(g, tool)
+        issues = lint_contexts(contexts, fetch_names=[logits.name])
+        flagged = [i for i in issues if i.rule == "insert-after-fetch"]
+        assert flagged
+        assert flagged[0].op_name == logits.op.name
+        assert flagged[0].tools == ("observer",)
+
+    def test_non_fetched_op_not_flagged(self, relu_graph):
+        g, x, logits, loss = relu_graph
+        tool = Tool("observer")
+        tool.add_inst_for_op(
+            lambda context: context.insert_after_op(lambda a: a)
+            if context["type"] == "MatMul" else None)
+        contexts, _ = _instrument(g, tool)
+        issues = lint_contexts(contexts, fetch_names=[logits.name])
+        assert not [i for i in issues if i.rule == "insert-after-fetch"]
+
+
+class TestBackwardWithoutAD:
+    def test_replace_backward_flagged(self, relu_graph, rng):
+        g, x, logits, loss = relu_graph
+        with G.default_graph(g):
+            G.gradients(loss, [g.get_operation("w").outputs[0]])
+        tool = Tool("grad_hacker")
+
+        def analysis(context):
+            if context.get("backward_type") == "ReluGrad":
+                context.replace_backward_op(lambda grad, ref: grad)
+
+        tool.add_inst_for_op(analysis, backward=True)
+        contexts, mgr = _instrument(g, tool)
+        issues = lint_contexts(contexts, manager=mgr)
+        flagged = [i for i in issues if i.rule == "backward-no-ad"]
+        assert flagged
+        assert "allow_instrumented_ad" in flagged[0].message
+
+    def test_allowed_when_ad_enabled(self, relu_graph):
+        g, x, logits, loss = relu_graph
+        with G.default_graph(g):
+            G.gradients(loss, [g.get_operation("w").outputs[0]])
+        tool = Tool("grad_hacker")
+
+        def analysis(context):
+            if context.get("backward_type") == "ReluGrad":
+                context.replace_backward_op(lambda grad, ref: grad)
+
+        tool.add_inst_for_op(analysis, backward=True)
+        contexts, _ = _instrument(g, tool)
+        issues = lint_contexts(contexts, allow_instrumented_ad=True)
+        assert not [i for i in issues if i.rule == "backward-no-ad"]
+
+
+class TestCacheUnsafeContext:
+    def test_unbaked_user_state_flagged(self, relu_graph):
+        g = relu_graph[0]
+        tool = Tool("stateful")
+
+        def analysis(context):
+            if context["type"] != "MatMul":
+                return
+            context["per_run_counter"] = [0]  # only reachable via context
+            context.insert_before_op(lambda a: a, inputs=[0])
+
+        tool.add_inst_for_op(analysis)
+        contexts, mgr = _instrument(g, tool)
+        issues = lint_contexts(contexts, manager=mgr)
+        flagged = [i for i in issues if i.rule == "cache-unsafe-context"]
+        assert flagged
+        assert "per_run_counter" in flagged[0].message
+
+    def test_state_baked_into_kwargs_is_safe(self, relu_graph):
+        # the pruning-tool pattern: the mask is snapshotted in action kwargs
+        g = relu_graph[0]
+        tool = Tool("pruner_like")
+
+        def analysis(context):
+            if context["type"] != "MatMul":
+                return
+            mask = np.ones((4, 3))
+            context["mask"] = mask
+            context.insert_before_op(lambda a, mask: a, inputs=[0], mask=mask)
+
+        tool.add_inst_for_op(analysis)
+        contexts, mgr = _instrument(g, tool)
+        issues = lint_contexts(contexts, manager=mgr)
+        assert not [i for i in issues if i.rule == "cache-unsafe-context"]
+
+    def test_cache_disabled_is_safe(self, relu_graph):
+        g = relu_graph[0]
+        tool = Tool("stateful")
+
+        def analysis(context):
+            if context["type"] == "MatMul":
+                context["scratch"] = {}
+                context.insert_before_op(lambda a: a, inputs=[0])
+
+        tool.add_inst_for_op(analysis)
+        contexts, _ = _instrument(g, tool)
+        issues = lint_contexts(contexts, cache_enabled=False)
+        assert not [i for i in issues if i.rule == "cache-unsafe-context"]
+
+
+class TestRealToolsAreClean:
+    def test_pruning_and_profiling_lint_clean(self, rng):
+        import repro.models.graph.builders as GM
+        from repro.tools.profiling import FlopsProfilingTool
+        from repro.tools.pruning import MagnitudePruningTool
+        gm = GM.build_mlp(learning_rate=0.1)
+        contexts, mgr = _instrument(
+            gm.graph, MagnitudePruningTool(sparsity=0.5),
+            FlopsProfilingTool(),
+            feed_shapes={"input": (8, 16), "labels": (8,)})
+        issues = lint_contexts(contexts, manager=mgr)
+        assert issues == [], [str(i) for i in issues]

@@ -1,0 +1,203 @@
+"""Schema registry: completeness, arity/attr checks, shape inference rules."""
+
+import numpy as np
+import pytest
+
+import repro.graph as G
+from repro.analysis import schemas
+from repro.analysis.schemas import (InferenceError, SchemaError,
+                                    broadcast_shapes, check_op_against_schema,
+                                    check_registry_complete,
+                                    infer_eager_shapes, missing_eager_schemas,
+                                    missing_graph_schemas, validate_mask_shape,
+                                    validate_scale)
+from repro.eager import ops as eager_ops
+from repro.graph import builder as gb
+
+
+class TestCompleteness:
+    def test_every_graph_op_has_a_schema(self):
+        assert missing_graph_schemas() == set()
+
+    def test_every_eager_op_has_a_schema(self):
+        eager_ops.register_default_ops()
+        assert missing_eager_schemas() == set()
+
+    def test_no_stale_graph_schemas(self):
+        assert schemas.stale_graph_schemas() == set()
+
+    def test_check_registry_complete_passes(self):
+        eager_ops.register_default_ops()
+        check_registry_complete()  # must not raise
+
+    def test_missing_schema_is_reported(self):
+        # a hypothetical builtin op without a schema must fail the check
+        from repro.graph import builder
+
+        def _compute_phantom(op, inputs, runtime):  # pragma: no cover
+            return (inputs[0],)
+
+        _compute_phantom.__module__ = "repro.graph.builder"
+        builder.COMPUTE["PhantomOp"] = _compute_phantom
+        try:
+            assert "PhantomOp" in missing_graph_schemas()
+            with pytest.raises(SchemaError, match="PhantomOp"):
+                check_registry_complete()
+        finally:
+            del builder.COMPUTE["PhantomOp"]
+
+    def test_third_party_ops_are_exempt(self):
+        from repro.graph import builder
+
+        def _compute_external(op, inputs, runtime):  # pragma: no cover
+            return (inputs[0],)
+
+        _compute_external.__module__ = "someplugin.ops"
+        builder.COMPUTE["ExternalOp"] = _compute_external
+        try:
+            assert "ExternalOp" not in missing_graph_schemas()
+            assert "ExternalOp" in missing_graph_schemas(builtin_only=False)
+        finally:
+            del builder.COMPUTE["ExternalOp"]
+
+
+class TestPartialShapeAlgebra:
+    def test_broadcast_known(self):
+        assert broadcast_shapes((2, 3), (3,)) == (2, 3)
+        assert broadcast_shapes((2, 1), (1, 4)) == (2, 4)
+        assert broadcast_shapes((5,), ()) == (5,)
+
+    def test_broadcast_unknown_dims(self):
+        assert broadcast_shapes((None, 3), (1, 3)) == (None, 3)
+        assert broadcast_shapes((None,), (4,)) == (4,)
+        assert broadcast_shapes(None, (2, 2)) is None
+
+    def test_broadcast_conflict_raises(self):
+        with pytest.raises(InferenceError, match="broadcast"):
+            broadcast_shapes((2, 3), (2, 4))
+
+
+class TestGraphInference:
+    def _op(self, op_type, num_inputs=0, attrs=None, num_outputs=1):
+        g = G.Graph()
+        g._internal_mutation = True
+        feeds = [g.add_op("Placeholder") for _ in range(num_inputs)]
+        return g.add_op(op_type, [p.outputs[0] for p in feeds], attrs or {},
+                        num_outputs=num_outputs)
+
+    def _infer(self, op, in_shapes):
+        schema = schemas.GRAPH_SCHEMAS[op.type]
+        return schema.infer(op, list(in_shapes), schemas.InferEnv())
+
+    def test_matmul_inner_dim(self):
+        op = self._op("MatMul", 2)
+        assert self._infer(op, [(8, 16), (16, 32)]) == [(8, 32)]
+        with pytest.raises(InferenceError, match="inner"):
+            self._infer(op, [(8, 16), (17, 32)])
+
+    def test_matmul_transpose(self):
+        op = self._op("MatMul", 2, {"transpose_b": True})
+        assert self._infer(op, [(8, 16), (32, 16)]) == [(8, 32)]
+
+    def test_conv2d_nhwc(self):
+        op = self._op("Conv2D", 2, {"strides": (2, 2), "padding": (1, 1)})
+        assert self._infer(op, [(2, 16, 16, 3), (3, 3, 3, 8)]) \
+            == [(2, 8, 8, 8)]
+        with pytest.raises(InferenceError, match="channels"):
+            self._infer(op, [(2, 16, 16, 4), (3, 3, 3, 8)])
+
+    def test_reshape_fold(self):
+        op = self._op("Reshape", 1, {"shape": (-1, 8)})
+        assert self._infer(op, [(4, 2, 8)]) == [(8, 8)]
+        with pytest.raises(InferenceError, match="element count|fold"):
+            self._infer(self._op("Reshape", 1, {"shape": (3, 8)}), [(4, 8)])
+
+    def test_concat(self):
+        op = self._op("ConcatV2", 2, {"axis": 1})
+        op_inferred = self._infer(op, [(2, 3), (2, 5)])
+        assert op_inferred == [(2, 8)]
+
+    def test_fused_batch_norm_gamma_mismatch(self):
+        op = self._op("FusedBatchNorm", 3,
+                      {"running_mean": "m", "running_var": "v"},
+                      num_outputs=3)
+        good = self._infer(op, [(2, 4, 4, 8), (8,), (8,)])
+        assert good == [(2, 4, 4, 8), (2, 4, 4, 8), (8,)]
+        with pytest.raises(InferenceError, match="gamma"):
+            self._infer(op, [(2, 4, 4, 8), (7,), (7,)])
+
+    def test_unknown_shapes_never_false_positive(self):
+        op = self._op("MatMul", 2)
+        assert self._infer(op, [None, (16, 32)]) == [None]
+        assert self._infer(op, [(8, None), (None, 32)]) == [(8, 32)]
+
+    def test_pycall_roles(self):
+        wrap = self._op("PyCall", 1, {"func": lambda a: a})
+        wrap.tags["pycall_role"] = "wrap"
+        assert self._infer(wrap, [(2, 3)]) == [(2, 3)]
+        replace = self._op("PyCall", 2, {"func": lambda a, b: a})
+        replace.tags["pycall_role"] = "replace"
+        assert self._infer(replace, [(2, 3), (3,)]) == [None]
+
+    def test_arity_and_attr_violations(self):
+        op = self._op("Conv2D", 1, {"strides": "nope"})
+        schema = schemas.GRAPH_SCHEMAS["Conv2D"]
+        errors = "\n".join(check_op_against_schema(op, schema))
+        assert "expects 2 inputs" in errors
+        assert "attr 'strides'" in errors
+        assert "missing required attr 'padding'" in errors
+
+    def test_undeclared_attr_flagged(self):
+        op = self._op("Relu", 1, {"bogus": 1})
+        errors = check_op_against_schema(op, schemas.GRAPH_SCHEMAS["Relu"])
+        assert any("undeclared attr 'bogus'" in e for e in errors)
+
+
+class TestEagerInference:
+    def test_linear(self):
+        assert infer_eager_shapes("linear", [(8, 16), (32, 16)]) == [(8, 32)]
+        with pytest.raises(InferenceError):
+            infer_eager_shapes("linear", [(8, 16), (32, 17)])
+
+    def test_conv2d_nchw(self):
+        out = infer_eager_shapes("conv2d", [(2, 3, 16, 16), (8, 3, 3, 3)],
+                                 attrs={"stride": (1, 1), "padding": (1, 1)})
+        assert out == [(2, 8, 16, 16)]
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(SchemaError):
+            infer_eager_shapes("not_an_op", [(1,)])
+
+
+class TestToolInputValidation:
+    def test_mask_shape_ok(self):
+        validate_mask_shape(np.ones((3, 4)), np.zeros((3, 4)), "matmul")
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(InferenceError, match="mask shape"):
+            validate_mask_shape(np.ones((4, 3)), np.zeros((3, 4)), "matmul")
+
+    def test_mask_nonfinite(self):
+        with pytest.raises(InferenceError, match="non-finite"):
+            validate_mask_shape(np.full((2, 2), np.nan), np.zeros((2, 2)))
+
+    def test_scale(self):
+        assert validate_scale(0.5) == 0.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InferenceError, match="scale"):
+                validate_scale(bad, "conv2d")
+
+
+class TestModelZooCoverage:
+    def test_builder_graph_fully_inferred(self, rng):
+        # every tensor of a real forward+backward graph gets a known shape
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            w = gb.variable(rng.standard_normal((4, 3)), name="w")
+            loss = gb.reduce_mean(gb.square(gb.relu(gb.matmul(x, w))))
+            (grad_w,) = G.gradients(loss, [w])
+        from repro.analysis.verify import verify_graph
+        report = verify_graph(g, feed_shapes={"x": (2, 4)})
+        assert report.ok
+        assert report.shapes[grad_w.name] == (4, 3)
+        assert all(shape is not None for shape in report.shapes.values())

@@ -192,3 +192,55 @@ class TestGraphLevelCache:
             sess.run(update.outputs[0])
         # the instrumented run mutated the shared store
         np.testing.assert_array_equal(g.variables.read("v"), [2.0])
+
+
+class TestDetachResetsState:
+    """attach -> detach -> attach must not leak state across tool epochs."""
+
+    def test_detach_clears_graph_cache_and_stats(self, rng, small_graph):
+        g, x, w, logits, loss, grad_w = small_graph
+        sess = G.Session(g)
+        xv = np.abs(rng.standard_normal((2, 4)))
+
+        tool = Tool("t")
+        tool.add_inst_for_op(
+            lambda context: context.insert_after_op(lambda a: a * 2.0)
+            if context["type"] == "Relu" else None)
+        with amanda.apply(tool) as mgr:
+            driver = next(d for d in mgr._drivers if d.namespace == "graph")
+            sess.run(logits, {x: xv})
+            sess.run(logits, {x: xv})
+            assert driver._graph_cache
+            assert driver.rewrite_count == 1
+            assert driver.cache_misses == 1 and driver.cache_hits == 1
+        # deactivation detaches the driver: everything epoch-scoped is gone
+        assert driver._graph_cache == {}
+        assert driver.rewrite_count == 0
+        assert driver.cache_hits == 0 and driver.cache_misses == 0
+        assert driver.last_contexts == [] and driver.last_report is None
+
+    def test_reattach_does_not_reuse_stale_entry(self, rng, small_graph):
+        g, x, w, logits, loss, grad_w = small_graph
+        sess = G.Session(g)
+        xv = np.abs(rng.standard_normal((2, 4)))
+        vanilla = sess.run(logits, {x: xv})
+
+        doubler = Tool("doubler")
+        doubler.add_inst_for_op(
+            lambda context: context.insert_after_op(lambda a: a * 2.0)
+            if context["type"] == "Relu" else None)
+        with amanda.apply(doubler):
+            first = sess.run(logits, {x: xv})
+        np.testing.assert_allclose(first, vanilla * 2.0)
+
+        # a second epoch with a different tool must re-instrument from the
+        # vanilla graph, not serve the doubler's cached rewrite
+        tripler = Tool("tripler")
+        tripler.add_inst_for_op(
+            lambda context: context.insert_after_op(lambda a: a * 3.0)
+            if context["type"] == "Relu" else None)
+        with amanda.apply(tripler) as mgr:
+            driver = next(d for d in mgr._drivers if d.namespace == "graph")
+            second = sess.run(logits, {x: xv})
+            assert driver.cache_misses == 1 and driver.cache_hits == 0
+        np.testing.assert_allclose(second, vanilla * 3.0)
