@@ -10,6 +10,8 @@ of times cheaper than CUDA kernels, so the same framework work shows as a
 larger *percentage*; the ordering and cache behaviour are what reproduce).
 """
 
+import os
+
 import numpy as np
 
 import repro.amanda as amanda
@@ -21,6 +23,10 @@ from repro.amanda.tools import (ExecutionTraceTool, FlopsProfilingTool,
                                 SparsityProfilingTool)
 
 from _common import report
+
+#: CI smoke mode: one small model per backend, fewer rounds — catches
+#: hot-path regressions without the full sweep
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
 TOOLS = {
     "Tracing": ExecutionTraceTool,
@@ -46,11 +52,19 @@ GRAPH_MODELS = {
     "BERT": (lambda: GM.build_bert(), None),
 }
 
+if QUICK:
+    EAGER_MODELS = {"ResNet18": (lambda: M.resnet18(), (2, 3, 16, 16))}
+    GRAPH_MODELS = {
+        "ResNet": (lambda: GM.build_resnet(layers=(1, 1, 1, 1)),
+                   (2, 16, 16, 3))}
+
+ROUNDS = 3 if QUICK else 7
+
 
 import time
 
 
-def _paired_overhead(vanilla_fn, instrumented_fn, rounds: int = 7) -> float:
+def _paired_overhead(vanilla_fn, instrumented_fn, rounds: int = ROUNDS) -> float:
     """Median of per-round instrumented/vanilla ratios, interleaved so CPU
     frequency and allocator drift hit both sides equally."""
     vanilla_fn()
@@ -125,7 +139,8 @@ def onnx_overheads():
     rng = np.random.default_rng(0)
     rows = []
     model = ME.resnet18()
-    x = E.tensor(rng.standard_normal((8, 3, 16, 16)))
+    x = E.tensor(rng.standard_normal((2, 3, 16, 16) if QUICK
+                                     else (8, 3, 16, 16)))
     session = InferenceSession(export_onnx(model, x))
     feed = {"input": x.data}
     for tool_name in ("Tracing", "Pruning", "Profiling", "Sparsity"):

@@ -11,6 +11,9 @@ models; the ordering and the "pruning benefits most" structure are what
 reproduce here.
 """
 
+import os
+import time
+
 import numpy as np
 
 import repro.amanda as amanda
@@ -21,6 +24,10 @@ from repro.amanda.tools import (ExecutionTraceTool, FlopsProfilingTool,
                                 MagnitudePruningTool, SparsityProfilingTool)
 
 from _common import report, wall_time
+
+#: CI smoke mode: fewer repeats — catches hot-path regressions cheaply
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+REPEATS = 3 if QUICK else 6
 
 TOOLS = {
     "Tracing": ExecutionTraceTool,
@@ -38,10 +45,10 @@ def eager_ratios():
     for name, factory in TOOLS.items():
         tool = factory()
         with amanda.apply(tool):
-            cached = wall_time(lambda: model(x), repeats=6)
+            cached = wall_time(lambda: model(x), repeats=REPEATS)
         tool = factory()
         with amanda.apply(tool), amanda.cache_disabled():
-            uncached = wall_time(lambda: model(x), repeats=6)
+            uncached = wall_time(lambda: model(x), repeats=REPEATS)
         rows.append(("eager", name, uncached / cached))
     return rows
 
@@ -56,11 +63,42 @@ def graph_ratios():
     for name, factory in TOOLS.items():
         tool = factory()
         with amanda.apply(tool):
-            cached = wall_time(lambda: sess.run(gm.loss, feed), repeats=6)
+            cached = wall_time(lambda: sess.run(gm.loss, feed), repeats=REPEATS)
         tool = factory()
         with amanda.apply(tool), amanda.cache_disabled():
-            uncached = wall_time(lambda: sess.run(gm.loss, feed), repeats=6)
+            uncached = wall_time(lambda: sess.run(gm.loss, feed), repeats=REPEATS)
         rows.append(("graph", name, uncached / cached))
+    return rows
+
+
+def cached_path_plan_stats():
+    """Steady-state per-op framework overhead on the cached (replay) path.
+
+    This is what the execution-plan layer optimizes: once actions are
+    compiled into plans, a cached op call costs one dict lookup plus a plan
+    invocation.  Counters come from ``manager.plan_stats()``.
+    """
+    rng = np.random.default_rng(0)
+    model = M.resnet18()
+    x = E.tensor(rng.standard_normal((2, 3, 16, 16)))
+    iters = 5 if QUICK else 10
+    rows = []
+    for name, factory in TOOLS.items():
+        tool = factory()
+        with amanda.apply(tool) as mgr:
+            for _ in range(3):  # warm: trace, cache, compile plans
+                model(x)
+            mgr.reset_timers()
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                model(x)
+            wall = time.perf_counter() - t0
+            ops = len(mgr.action_cache)
+            stats = mgr.plan_stats()
+            replays = sum(s["replays"] for s in stats["ops"].values())
+            fw_per_op_us = 1e6 * mgr.timers["framework"] / max(1, ops * iters)
+            rows.append((name, ops, fw_per_op_us, wall / iters * 1e3,
+                         replays, dict(stats["by_kind"])))
     return rows
 
 
@@ -76,7 +114,21 @@ def test_fig12_cache(benchmark):
     ratios = [ratio for _, _, ratio in rows]
     lines.append(f"max speedup {max(ratios):.2f}x, "
                  f"mean speedup {np.mean(ratios):.2f}x")
+
+    plan_rows = cached_path_plan_stats()
+    lines.append("")
+    lines.append("cached-path (plan replay) steady state, eager resnet18:")
+    lines.append(f"{'use case':<10} {'ops':>4} {'fw/op':>10} {'wall/iter':>11} "
+                 f"{'replays':>8}  by_kind")
+    for name, ops, fw_us, wall_ms, replays, by_kind in plan_rows:
+        lines.append(f"{name:<10} {ops:>4} {fw_us:>8.2f}us {wall_ms:>9.3f}ms "
+                     f"{replays:>8}  {by_kind}")
     report("fig12_cache", lines)
+
+    # every cached execution replays through a compiled plan — no silent
+    # fallback to re-interpreting action lists
+    for name, ops, _, _, replays, _ in plan_rows:
+        assert replays >= ops, (name, ops, replays)
 
     # caching helps overall (wall-clock noise tolerated by the margin)
     assert np.mean(ratios) > 1.05

@@ -15,7 +15,15 @@ and flags compositions that are legal individually but wrong together:
   was not created with ``allow_instrumented_ad``;
 * ``cache-unsafe-context`` — a tool stored per-run state in the context
   (``has_user_state``) while graph-level caching is enabled: analysis will
-  not rerun for cached graphs, so that state silently goes stale.
+  not rerun for cached graphs, so that state silently goes stale;
+* ``plan-unsafe-kwargs`` — an action's kwargs capture a mutable container
+  (list/dict/set/bytearray) that is *aliased* elsewhere: stored as context
+  user state, or shared by other actions.  Kwargs are frozen into the
+  compiled execution plan's closure at cache-store time, so mutating such
+  shared per-iteration state later changes replay behavior without
+  invalidating the plan.  Private single-use snapshots (a dict built inside
+  the analysis routine) and ndarrays are exempt — snapshotting into kwargs
+  is the established cache-safe idiom (see ``cache-unsafe-context``).
 
 Lints are warnings, not errors — :func:`lint_contexts` returns the issue list
 and never raises.
@@ -80,6 +88,17 @@ def lint_contexts(contexts: Iterable[OpContext],
         cache_enabled = getattr(manager, "cache_enabled", cache_enabled)
     fetch_ops = {name.partition(":")[0] for name in fetch_names}
     issues: list[LintIssue] = []
+    contexts = list(contexts)
+
+    # identity-count every mutable kwargs container across the whole stream:
+    # a container referenced by more than one action is shared state whose
+    # mutation would silently desynchronize the compiled plans replaying it
+    kwarg_refs: dict[int, int] = {}
+    for context in contexts:
+        for action in context.actions:
+            for value in action.kwargs.values():
+                if isinstance(value, (list, dict, set, bytearray)):
+                    kwarg_refs[id(value)] = kwarg_refs.get(id(value), 0) + 1
 
     for context in contexts:
         name, op_type = _op_identity(context)
@@ -118,6 +137,25 @@ def lint_contexts(contexts: Iterable[OpContext],
                         "backward-graph replacement recorded without "
                         "allow_instrumented_ad; gradients will silently "
                         "diverge from the autodiff of the forward graph",
+                        (_tool_name(action),)))
+
+        if cache_enabled:
+            user_values = [context.get(key) for key in context.user_keys]
+            for action in actions:
+                mutable = sorted(
+                    key for key, value in action.kwargs.items()
+                    if isinstance(value, (list, dict, set, bytearray))
+                    and (kwarg_refs.get(id(value), 0) > 1
+                         or any(value is uv for uv in user_values)))
+                if mutable:
+                    issues.append(LintIssue(
+                        "plan-unsafe-kwargs", name, op_type,
+                        f"action kwargs {mutable} hold mutable containers "
+                        "aliased outside this action; kwargs are frozen into "
+                        "the compiled execution plan at cache-store time, so "
+                        "mutating them later changes replay behavior without "
+                        "invalidating the plan — snapshot into an ndarray or "
+                        "pass immutable values",
                         (_tool_name(action),)))
 
         if cache_enabled and context.has_user_state and actions:

@@ -6,32 +6,65 @@ Implementation mirrors the paper's PyTorch driver:
   operator registry and patches every operator's ``call_override`` (and
   ``backward_call_override``), including operators registered later;
 * **lazy analysis** — analysis routines run the first time an operator
-  executes; the recorded actions are cached per stable op id, and operators
-  whose cache entry is empty take a vanilla fast path on later iterations
-  (the action cache of Fig. 12);
+  executes (the *trace* path); the recorded actions are compiled into an
+  :class:`~repro.core.plans.ExecutionPlan` cached per stable op id, and later
+  executions *replay* the plan: ``VANILLA`` ops take the uninstrumented fast
+  path, ``OBSERVE_ONLY`` ops skip call-record construction entirely, and
+  ``MUTATING`` ops run the full path (the action cache of Fig. 12);
 * **backward tracking** — each forward op's declared backward ops execute
   through the driver, which supplies the forward context (operator mapping,
-  Fig. 5) and evaluates backward actions registered from forward analysis
-  routines;
+  Fig. 5) and replays the forward plan's backward slice alongside actions
+  recorded by backward analysis routines;
 * **iteration boundaries** — backward completion and top-level module entry
   reset occurrence counters so op IDs stay consistent across iterations.
+
+All action evaluation is delegated to :mod:`repro.core.plans`; the only
+backend-specific pieces are the :class:`~repro.core.plans.TensorAdapter`
+subclasses saying how eager tensors cross the instrumentation boundary.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from ..core.actions import Action, ActionType, IPoint
+from ..core.actions import IPoint
 from ..core.context import OpContext
 from ..core.interceptor import Interceptor
 from ..core.manager import CachedOpRecord, register_driver_factory
+from ..core.plans import (EMPTY_SLICE, NDARRAY_ADAPTER, ExecutionPlan,
+                          PlanKind, PlanSlice, TensorAdapter,
+                          compile_backward_slice, compile_forward_slice,
+                          run_steps)
 from ..eager import alloc, autograd, dispatch
 from ..eager.dispatch import OpCall, OpDef, Tensor, vanilla_apply
 from .interface import BackendDriver
 
 __all__ = ["EagerDriver"]
+
+
+class _InputAdapter(TensorAdapter):
+    """Op inputs: unwrap ``Tensor.data``, wrap replacements as new tensors."""
+
+    def unwrap(self, value):
+        return value.data if isinstance(value, Tensor) else value
+
+    def wrap(self, value):
+        return Tensor(np.asarray(value))
+
+
+class _OutputAdapter(TensorAdapter):
+    """Op outputs: replacements are written back into the tensor in place so
+    downstream consumers (and autograd saved values) observe them."""
+
+    def unwrap(self, value):
+        return value.data
+
+    def assign(self, values, index, value) -> None:
+        values[index].data = np.asarray(value)
+
+
+INPUT_ADAPTER = _InputAdapter()
+OUTPUT_ADAPTER = _OutputAdapter()
 
 
 class EagerDriver(BackendDriver):
@@ -85,77 +118,144 @@ class EagerDriver(BackendDriver):
         if not mgr.active or self._busy:
             return vanilla_apply(opdef, inputs, attrs)
 
-        t0 = time.perf_counter()
+        span = mgr.begin_span()
         op_id = mgr.ids.assign(opdef.name)
         cached = mgr.cache_lookup(op_id)
-        if cached is not None and cached.empty:
-            # vanilla fast path: this op instance was analyzed and left alone
-            mgr.record_framework_time(time.perf_counter() - t0)
-            return vanilla_apply(opdef, inputs, attrs)
+        if cached is None:
+            return self._trace_forward(opdef, inputs, attrs, op_id, span)
 
+        plan = mgr.plan_for(cached, op_id=op_id)
+        plan.replays += 1
+        if plan.kind is PlanKind.VANILLA:
+            # this op instance was analyzed and left alone
+            mgr.end_span(span)
+            return vanilla_apply(opdef, inputs, attrs)
+        if plan.kind is PlanKind.OBSERVE_ONLY:
+            return self._replay_observe(plan, opdef, inputs, attrs, span)
+        return self._replay_mutating(plan, opdef, inputs, attrs, op_id, span)
+
+    def _replay_observe(self, plan: ExecutionPlan, opdef: OpDef,
+                        inputs: tuple, attrs: dict, span):
+        """Insert-only replay: no replace, no backward actions, no user state,
+        so no call record or autograd metadata wiring is needed."""
+        mgr = self.manager
+        forward = plan.forward
+        mutated = False
+        exec_inputs = inputs
+        if forward.before:
+            values = list(inputs)
+            mutated = run_steps(forward.before, values, INPUT_ADAPTER,
+                                mgr.run_instrumentation)
+            if mutated:
+                plan.mutations += 1
+                exec_inputs = tuple(values)
+        mgr.end_span(span)
+        result = vanilla_apply(opdef, exec_inputs, attrs,
+                               autograd_inputs=inputs if mutated else None)
+        if forward.after:
+            span = mgr.begin_span()
+            outputs = result if isinstance(result, tuple) else (result,)
+            run_steps(forward.after, list(outputs), OUTPUT_ADAPTER,
+                      mgr.run_instrumentation)
+            mgr.end_span(span)
+        return result
+
+    def _replay_mutating(self, plan: ExecutionPlan, opdef: OpDef,
+                         inputs: tuple, attrs: dict, op_id: int, span):
+        mgr = self.manager
+        forward = plan.forward
+        context = plan.context
         op_call = OpCall(opdef, inputs, attrs, seq=dispatch.next_seq(),
                          module=dispatch.current_module())
         op_call.metadata["op_id"] = op_id
 
-        if cached is not None:
-            context = cached.context
-            forward_actions = list(cached.forward_actions)
-            backward_actions = list(cached.backward_actions)
-        else:
-            context = self._build_forward_context(op_call, op_id)
-            self._busy = True
-            try:
-                mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
-            finally:
-                self._busy = False
-            forward_actions = list(context.actions)
-            backward_actions = []
-
-        replace = self._first(forward_actions, ActionType.REPLACE_OP)
-        before = self._of_type(forward_actions, ActionType.INSERT_BEFORE_OP)
-        after = self._of_type(forward_actions, ActionType.INSERT_AFTER_OP)
-
-        exec_inputs = self._apply_input_actions(before, inputs)
-        forward_override = None
-        if replace is not None:
-            kwargs = replace.kwargs
-            func = replace.func
-            forward_override = (lambda *arrays, **a: func(*arrays, **kwargs)) \
-                if kwargs else func
-        mgr.record_framework_time(time.perf_counter() - t0)
+        exec_inputs = inputs
+        if forward.before:
+            values = list(inputs)
+            if run_steps(forward.before, values, INPUT_ADAPTER,
+                         mgr.run_instrumentation):
+                exec_inputs = tuple(values)
+        forward_override = (forward.replace.forward_override
+                            if forward.replace is not None else None)
+        if forward_override is not None or exec_inputs is not inputs:
+            plan.mutations += 1
+        mgr.end_span(span)
 
         result = vanilla_apply(opdef, exec_inputs, attrs,
                                forward_override=forward_override,
                                op_call=op_call, autograd_inputs=inputs)
 
-        t1 = time.perf_counter()
+        span = mgr.begin_span()
+        outputs = op_call.outputs
+        if context is not None:
+            context["_outputs"] = list(outputs)
+        if forward.after:
+            run_steps(forward.after, list(outputs), OUTPUT_ADAPTER,
+                      mgr.run_instrumentation)
+        if op_call.node is not None:
+            op_call.metadata["forward_plan"] = plan
+            op_call.metadata["context"] = context
+        mgr.end_span(span)
+        return result
+
+    def _trace_forward(self, opdef: OpDef, inputs: tuple, attrs: dict,
+                       op_id: int, span):
+        """First execution of this op instance: run analysis, record actions,
+        compile and cache the plan, then execute through it."""
+        mgr = self.manager
+        op_call = OpCall(opdef, inputs, attrs, seq=dispatch.next_seq(),
+                         module=dispatch.current_module())
+        op_call.metadata["op_id"] = op_id
+        context = self._build_forward_context(op_call, op_id)
+        self._busy = True
+        try:
+            mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
+        finally:
+            self._busy = False
+
+        # transient slice: AFTER_FORWARD analysis may still add actions, so
+        # the durable plan is compiled only after the op executed
+        pre = compile_forward_slice(context.actions)
+        exec_inputs = inputs
+        if pre.before:
+            values = list(inputs)
+            if run_steps(pre.before, values, INPUT_ADAPTER,
+                         mgr.run_instrumentation):
+                exec_inputs = tuple(values)
+        forward_override = (pre.replace.forward_override
+                            if pre.replace is not None else None)
+        mgr.end_span(span)
+
+        result = vanilla_apply(opdef, exec_inputs, attrs,
+                               forward_override=forward_override,
+                               op_call=op_call, autograd_inputs=inputs)
+
+        span = mgr.begin_span()
         outputs = op_call.outputs
         context["_outputs"] = list(outputs)
-        if cached is None:
-            pre_count = len(context.actions)
-            self._busy = True
-            try:
-                mgr.run_analysis(context, IPoint.AFTER_FORWARD)
-            finally:
-                self._busy = False
-            new_actions = context.actions[pre_count:]
-            forward_actions += self._of_type(new_actions, ActionType.INSERT_AFTER_OP)
-            after = self._of_type(context.actions, ActionType.INSERT_AFTER_OP)
-            backward_actions = [a for a in context.actions if a.type.is_backward]
+        self._busy = True
+        try:
+            mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+        finally:
+            self._busy = False
 
-            record = CachedOpRecord()
-            record.forward_actions = [a for a in context.actions
-                                      if not a.type.is_backward]
-            record.backward_actions = backward_actions
-            record.context = context
-            record.user_state = context.has_user_state
-            mgr.cache_store(op_id, record)
+        record = CachedOpRecord()
+        record.forward_actions = [a for a in context.actions
+                                  if not a.type.is_backward]
+        record.backward_actions = [a for a in context.actions
+                                   if a.type.is_backward]
+        record.context = context
+        record.user_state = context.has_user_state
+        mgr.cache_store(op_id, record)
+        plan = record.plan
 
-        self._apply_output_actions(after, outputs)
+        if plan.forward.after:
+            run_steps(plan.forward.after, list(outputs), OUTPUT_ADAPTER,
+                      mgr.run_instrumentation)
         if op_call.node is not None:
-            op_call.metadata["backward_actions"] = backward_actions
+            op_call.metadata["forward_plan"] = plan
             op_call.metadata["context"] = context
-        mgr.record_framework_time(time.perf_counter() - t1)
+        mgr.end_span(span)
         return result
 
     #: estimated bookkeeping bytes per context/action object, fed to the
@@ -185,78 +285,115 @@ class EagerDriver(BackendDriver):
         if not mgr.active or self._busy:
             return bdef.fn(node.ctx, grad_outputs)
 
-        t0 = time.perf_counter()
+        span = mgr.begin_span()
         bwd_id = mgr.backward_ids.assign(bdef.name)
         cached = mgr.cache_lookup(bwd_id)
         op_call = node.op_call
-        inherited: list[Action] = []
+        forward_plan: ExecutionPlan | None = None
         if op_call is not None:
-            inherited = [a for a in op_call.metadata.get("backward_actions", ())
-                         if a.backward_op is None or a.backward_op == bdef.name]
-        if cached is not None and cached.empty and not inherited:
-            mgr.record_framework_time(time.perf_counter() - t0)
-            return bdef.fn(node.ctx, grad_outputs)
+            forward_plan = op_call.metadata.get("forward_plan")
+        inherited = (forward_plan.backward_slice(bdef.name)
+                     if forward_plan is not None else EMPTY_SLICE)
 
-        if cached is not None:
-            context = cached.context
-            own_actions = list(cached.forward_actions)  # backward-op actions
-        else:
-            context = self._build_backward_context(node, bdef, bwd_id,
-                                                   grad_outputs, op_call)
-            self._busy = True
-            try:
-                mgr.run_analysis(context, IPoint.BEFORE_BACKWARD)
-            finally:
-                self._busy = False
-            own_actions = [a for a in context.actions
-                           if a.backward_op is None or a.backward_op == bdef.name]
-
-        actions = inherited + own_actions
-        before = self._of_type(actions, ActionType.INSERT_BEFORE_BACKWARD_OP)
-        after = self._of_type(actions, ActionType.INSERT_AFTER_BACKWARD_OP)
-        replace = self._first(actions, ActionType.REPLACE_BACKWARD_OP)
-
-        grad_outputs = self._apply_grad_actions(before, tuple(grad_outputs))
-        mgr.record_framework_time(time.perf_counter() - t0)
-
-        if replace is not None:
-            selected = self._select(grad_outputs, replace.tensor_indices)
-            grads = mgr.run_instrumentation(replace.func, tuple(selected),
-                                            replace.kwargs)
-            if not isinstance(grads, dict):
-                raise TypeError(
-                    "replace_backward_op routines must return a dict "
-                    "{forward_input_index: grad}")
-        else:
-            grads = bdef.fn(node.ctx, grad_outputs)
-
-        t1 = time.perf_counter()
         if cached is None:
-            ordered_keys = sorted(grads)
-            context["_grad_inputs"] = [grads[k] for k in ordered_keys]
-            pre_count = len(context.actions)
-            self._busy = True
-            try:
-                mgr.run_analysis(context, IPoint.AFTER_BACKWARD)
-            finally:
-                self._busy = False
-            own_after = [a for a in context.actions[pre_count:]
-                         if a.type == ActionType.INSERT_AFTER_BACKWARD_OP]
-            after += own_after
+            return self._trace_backward(node, bdef, grad_outputs, bwd_id,
+                                        inherited, op_call, span)
 
-            record = CachedOpRecord()
-            record.forward_actions = [
-                a for a in context.actions
-                if a.backward_op is None or a.backward_op == bdef.name]
-            record.context = context
-            mgr.cache_store(bwd_id, record)
+        plan = mgr.plan_for(cached, op_id=bwd_id)
+        plan.replays += 1
+        if plan.kind is PlanKind.VANILLA and inherited.empty:
+            mgr.end_span(span)
+            return bdef.fn(node.ctx, grad_outputs)
+        combined = PlanSlice.concat(inherited, plan.backward_slice(bdef.name))
+        return self._run_backward(node, bdef, grad_outputs, combined, span)
 
-        if after:
-            ordered_keys = sorted(grads)
-            grad_list = [grads[k] for k in ordered_keys]
-            grad_list = list(self._apply_grad_actions(after, tuple(grad_list)))
-            grads = dict(zip(ordered_keys, grad_list))
-        mgr.record_framework_time(time.perf_counter() - t1)
+    def _run_backward(self, node, bdef, grad_outputs, plan_slice: PlanSlice,
+                      span):
+        """Replay a backward slice: before steps on incoming gradients, the
+        (possibly replaced) backward computation, after steps on produced
+        gradients."""
+        mgr = self.manager
+        if plan_slice.before:
+            values = list(grad_outputs)
+            run_steps(plan_slice.before, values, NDARRAY_ADAPTER,
+                      mgr.run_instrumentation, clamp=True)
+            grad_outputs = tuple(values)
+        mgr.end_span(span)
+
+        grads = self._backward_compute(node, bdef, grad_outputs,
+                                       plan_slice.replace)
+
+        if plan_slice.after:
+            span = mgr.begin_span()
+            grads = self._apply_after_grads(plan_slice.after, grads)
+            mgr.end_span(span)
+        return grads
+
+    def _backward_compute(self, node, bdef, grad_outputs, replace):
+        if replace is None:
+            return bdef.fn(node.ctx, grad_outputs)
+        grads = self.manager.run_instrumentation(
+            replace.func, tuple(replace.select(grad_outputs)), replace.kwargs)
+        if not isinstance(grads, dict):
+            raise TypeError(
+                "replace_backward_op routines must return a dict "
+                "{forward_input_index: grad}")
+        return grads
+
+    def _apply_after_grads(self, steps, grads: dict) -> dict:
+        ordered_keys = sorted(grads)
+        grad_list = [grads[k] for k in ordered_keys]
+        run_steps(steps, grad_list, NDARRAY_ADAPTER,
+                  self.manager.run_instrumentation, clamp=True)
+        return dict(zip(ordered_keys, grad_list))
+
+    def _trace_backward(self, node, bdef, grad_outputs, bwd_id,
+                        inherited: PlanSlice, op_call, span):
+        mgr = self.manager
+        context = self._build_backward_context(node, bdef, bwd_id,
+                                               grad_outputs, op_call)
+        self._busy = True
+        try:
+            mgr.run_analysis(context, IPoint.BEFORE_BACKWARD)
+        finally:
+            self._busy = False
+        own = compile_backward_slice(
+            (a for a in context.actions
+             if a.backward_op is None or a.backward_op == bdef.name),
+            bdef.name)
+        combined = PlanSlice.concat(inherited, own)
+
+        if combined.before:
+            values = list(grad_outputs)
+            run_steps(combined.before, values, NDARRAY_ADAPTER,
+                      mgr.run_instrumentation, clamp=True)
+            grad_outputs = tuple(values)
+        mgr.end_span(span)
+
+        grads = self._backward_compute(node, bdef, grad_outputs,
+                                       combined.replace)
+
+        span = mgr.begin_span()
+        ordered_keys = sorted(grads)
+        context["_grad_inputs"] = [grads[k] for k in ordered_keys]
+        self._busy = True
+        try:
+            mgr.run_analysis(context, IPoint.AFTER_BACKWARD)
+        finally:
+            self._busy = False
+
+        record = CachedOpRecord()
+        record.forward_actions = [
+            a for a in context.actions
+            if a.backward_op is None or a.backward_op == bdef.name]
+        record.context = context
+        mgr.cache_store(bwd_id, record)
+
+        # replay the full after list (inherited + everything just recorded)
+        full = PlanSlice.concat(inherited, record.plan.backward_slice(bdef.name))
+        if full.after:
+            grads = self._apply_after_grads(full.after, grads)
+        mgr.end_span(span)
         return grads
 
     def _build_backward_context(self, node, bdef, bwd_id, grad_outputs,
@@ -285,79 +422,6 @@ class EagerDriver(BackendDriver):
         context["type"] = node.opdef.name
         context["backward_type"] = bdef.name
         return context
-
-    # -- action evaluation --------------------------------------------------------
-    @staticmethod
-    def _of_type(actions, action_type) -> list[Action]:
-        return [a for a in actions if a.type == action_type]
-
-    @staticmethod
-    def _first(actions, action_type) -> Action | None:
-        for action in actions:
-            if action.type == action_type:
-                return action
-        return None
-
-    @staticmethod
-    def _select(values, indices):
-        if indices is None:
-            return list(values)
-        return [values[i] for i in indices]
-
-    def _apply_input_actions(self, actions: list[Action],
-                             inputs: tuple) -> tuple:
-        if not actions:
-            return inputs
-        current = list(inputs)
-        for action in actions:
-            indices = action.tensor_indices
-            if indices is None:
-                indices = tuple(range(len(current)))
-            arrays = tuple(
-                current[i].data if isinstance(current[i], Tensor) else current[i]
-                for i in indices)
-            result = self.manager.run_instrumentation(action.func, arrays,
-                                                      action.kwargs)
-            if result is None:
-                continue  # observation-only routine
-            replacements = result if isinstance(result, tuple) else (result,)
-            for i, value in zip(indices, replacements):
-                current[i] = Tensor(np.asarray(value))
-        return tuple(current)
-
-    def _apply_output_actions(self, actions: list[Action], outputs: tuple) -> None:
-        for action in actions:
-            indices = action.tensor_indices
-            if indices is None:
-                indices = tuple(range(len(outputs)))
-            arrays = tuple(outputs[i].data for i in indices)
-            result = self.manager.run_instrumentation(action.func, arrays,
-                                                      action.kwargs)
-            if result is None:
-                continue
-            replacements = result if isinstance(result, tuple) else (result,)
-            for i, value in zip(indices, replacements):
-                outputs[i].data = np.asarray(value)
-
-    def _apply_grad_actions(self, actions: list[Action],
-                            grads: tuple) -> tuple:
-        current = list(grads)
-        for action in actions:
-            indices = action.tensor_indices
-            if indices is None:
-                indices = tuple(range(len(current)))
-            indices = tuple(i for i in indices if i < len(current))
-            if not indices and action.tensor_indices != ():
-                continue
-            arrays = tuple(np.asarray(current[i]) for i in indices)
-            result = self.manager.run_instrumentation(action.func, arrays,
-                                                      action.kwargs)
-            if result is None:
-                continue
-            replacements = result if isinstance(result, tuple) else (result,)
-            for i, value in zip(indices, replacements):
-                current[i] = np.asarray(value)
-        return tuple(current)
 
 
 register_driver_factory(EagerDriver)

@@ -17,15 +17,15 @@ Mirrors the paper's TensorFlow driver:
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
-from ..core.actions import Action, ActionType, IPoint
+from ..core.actions import IPoint
 from ..core.context import OpContext
 from ..core.ids import OpIdAssigner
 from ..core.interceptor import Interceptor
 from ..core.manager import register_driver_factory
+from ..core.plans import (ExecutionPlan, PlanKind, PlanSlice, compile_actions)
 from ..eager import alloc
 from ..graph.core import SKIP_TYPES, Graph, Operation
 from ..graph.rewrite import GraphRewriter, copy_graph
@@ -43,8 +43,9 @@ class GraphDriver(BackendDriver):
         super().__init__(manager)
         self._interceptor = Interceptor()
         #: (graph id, graph version, tool epoch) -> (instrumented graph,
-        #: tensor-name redirects pointing fetches at inserted wrapper outputs)
-        self._graph_cache: dict[tuple, tuple[Graph, dict]] = {}
+        #: tensor-name redirects pointing fetches at inserted wrapper
+        #: outputs, compiled per-op execution plans)
+        self._graph_cache: dict[tuple, tuple[Graph, dict, list]] = {}
         self.rewrite_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -53,6 +54,8 @@ class GraphDriver(BackendDriver):
         self.verify = verify
         #: per-op contexts of the most recent rewrite (lint-pass input)
         self.last_contexts: list[OpContext] = []
+        #: compiled plans of the most recent rewrite (plan_stats input)
+        self.last_plans: list[ExecutionPlan] = []
         #: verification report of the most recent rewrite (when verifying)
         self.last_report = None
 
@@ -74,6 +77,7 @@ class GraphDriver(BackendDriver):
         self.cache_hits = 0
         self.cache_misses = 0
         self.last_contexts = []
+        self.last_plans = []
         self.last_report = None
 
     # -- run interception ----------------------------------------------------------
@@ -85,13 +89,19 @@ class GraphDriver(BackendDriver):
         entry = self._graph_cache.get(key) if mgr.cache_enabled else None
         if entry is None:
             self.cache_misses += 1
-            entry = self._instrument_graph(session.graph, feed_shapes={
-                name: np.asarray(value).shape for name, value in feed.items()})
+            instrumented, redirects = self._instrument_graph(
+                session.graph, feed_shapes={
+                    name: np.asarray(value).shape
+                    for name, value in feed.items()})
+            entry = (instrumented, redirects, self.last_plans)
             if mgr.cache_enabled:
                 self._graph_cache[key] = entry
         else:
             self.cache_hits += 1
-        instrumented, redirects = entry
+            for plan in entry[2]:
+                plan.hits += 1
+                plan.replays += 1
+        instrumented, redirects, _ = entry
         mapped = []
         for tensor in fetches:
             target = redirects.get(tensor.name)
@@ -103,9 +113,9 @@ class GraphDriver(BackendDriver):
     # -- rewriting ---------------------------------------------------------------
     def _instrument_graph(self, graph: Graph,
                           feed_shapes: dict | None = None) -> tuple[Graph, dict]:
-        start = time.perf_counter()
         self.rewrite_count += 1
         mgr = self.manager
+        span = mgr.begin_span()
         clone, _ = copy_graph(graph)
         # account the instrumented graph instance + per-op contexts as
         # framework bookkeeping memory (Fig. 13)
@@ -121,13 +131,12 @@ class GraphDriver(BackendDriver):
             if op.forward_op is not None:
                 backward_of.setdefault(op.forward_op.name, []).append(op)
 
-        tool_time_before = mgr.timers["tool"]
         # Phase 1: run every analysis routine (analysis is static, at rewrite
         # time — Fig. 4).  Actions are only realized afterwards so that a
         # later op's analysis may still instrument an earlier op (subgraph
         # rewriting).
         analyzed: list[tuple[Operation, OpContext]] = []
-        backward_analyzed: list[tuple[Operation, OpContext, list]] = []
+        backward_analyzed: list[tuple[Operation, OpContext, OpContext]] = []
         for op in snapshot:
             if op.type in SKIP_TYPES or op.forward_op is not None:
                 continue
@@ -142,25 +151,39 @@ class GraphDriver(BackendDriver):
                 bcontext = self._build_backward_context(clone, op, bop, context)
                 mgr.run_analysis(bcontext, IPoint.BEFORE_BACKWARD)
                 mgr.run_analysis(bcontext, IPoint.AFTER_BACKWARD)
-                backward_analyzed.append((bop, bcontext, context.actions))
+                backward_analyzed.append((bop, bcontext, context))
 
-        # Phase 2: realize the recorded actions as graph edits.
+        # Phase 2: compile each context's actions into an execution plan and
+        # realize the plan's slices as graph edits (static replay — the
+        # instrumented graph *is* the compiled form of the plan).
+        plans: list[ExecutionPlan] = []
+        plan_by_context: dict[int, ExecutionPlan] = {}
         for op, context in analyzed:
-            forward_only = [a for a in context.actions if not a.type.is_backward]
-            self._apply_forward_actions(rewriter, op, forward_only, redirects)
-        for bop, bcontext, forward_actions in backward_analyzed:
-            applicable = [
-                a for a in forward_actions + bcontext.actions
-                if a.type.is_backward
-                and (a.backward_op is None
-                     or a.backward_op == bcontext.get("backward_type")
-                     or a.backward_op == bop.type)
-            ]
-            self._apply_backward_actions(rewriter, bop, applicable, redirects)
+            plan = compile_actions(context.actions, epoch=mgr.tool_epoch,
+                                   op_id=op.op_id,
+                                   user_state=context.has_user_state,
+                                   context=context)
+            plans.append(plan)
+            plan_by_context[id(context)] = plan
+            self._realize_forward(rewriter, op, plan.forward, redirects)
+        for bop, bcontext, fcontext in backward_analyzed:
+            forward_plan = plan_by_context[id(fcontext)]
+            backward_plan = compile_actions(bcontext.actions,
+                                            epoch=mgr.tool_epoch,
+                                            op_id=bcontext.get("_backward_op_id"),
+                                            context=bcontext)
+            plans.append(backward_plan)
+            # a backward op is addressable by its raw type or the normalized
+            # name a mapping tool wrote into the context
+            names = (bcontext.get("backward_type") or bop.type, bop.type)
+            combined = PlanSlice.concat(forward_plan.backward_slice(names),
+                                        backward_plan.backward_slice(names))
+            self._realize_backward(rewriter, bop, combined, redirects)
 
         self.last_contexts = ([context for _, context in analyzed]
                               + [bcontext for _, bcontext, _
                                  in backward_analyzed])
+        self.last_plans = plans
 
         if self._should_verify:
             # lazy import: analysis sits above the driver in the layering
@@ -169,9 +192,7 @@ class GraphDriver(BackendDriver):
                 clone, feed_shapes=feed_shapes, redirects=redirects,
                 source_graph=graph, raise_on_error=True)
 
-        elapsed = time.perf_counter() - start
-        tool_time = mgr.timers["tool"] - tool_time_before
-        mgr.record_framework_time(max(0.0, elapsed - tool_time))
+        mgr.end_span(span)
         return clone, redirects
 
     # -- contexts -------------------------------------------------------------------
@@ -232,102 +253,99 @@ class GraphDriver(BackendDriver):
         return [e for e in bop.inputs if e.op.forward_op is not None
                 or e.op.type == "OnesLike"]
 
-    # -- action realization -----------------------------------------------------------
-    def _wrap(self, action: Action, passthrough_count: int):
-        mgr = self.manager
+    # -- plan realization -----------------------------------------------------------
+    # Realization turns a compiled plan slice into graph edits; step
+    # semantics (partitioning, selector defaults, observation passthrough)
+    # come from repro.core.plans — only the edit geometry lives here.
 
-        def run(*arrays):
-            result = mgr.run_instrumentation(action.func, arrays, action.kwargs)
-            if result is None:  # observation-only routine
-                return arrays if passthrough_count > 1 else arrays[0]
-            return result
+    _TAGS = {"alloc_scope": "tool"}
 
-        return run
+    def _realize_forward(self, rewriter: GraphRewriter, op: Operation,
+                         plan_slice: PlanSlice,
+                         redirects: dict[str, Operation]) -> None:
+        runner = self.manager.run_instrumentation
+        for step in plan_slice.before:
+            indices = step.indices
+            if indices is None:
+                indices = tuple(range(len(op.inputs)))
+            elif not indices:
+                # observation-only routine: trigger it off the first input
+                indices = (0,) if op.inputs else ()
+            if not indices:
+                continue
+            rewriter.insert_before_inputs(
+                op, indices, step.pycall(runner, len(indices)),
+                name=f"PyCall_before_{op.name}", tags=self._TAGS)
+        for step in plan_slice.after:
+            indices = step.indices
+            if indices is None:
+                indices = tuple(range(len(op.outputs)))
+            elif not indices:
+                indices = (0,)
+            node = rewriter.insert_after_outputs(
+                op, indices, step.pycall(runner, len(indices)),
+                name=f"PyCall_after_{op.name}", tags=self._TAGS)
+            for position, index in enumerate(indices):
+                redirects.setdefault(op.outputs[index].name,
+                                     node.outputs[position])
+        if plan_slice.replace is not None:
+            node = rewriter.replace_op(
+                op, plan_slice.replace.pycall(runner, len(op.outputs)),
+                name=f"PyCall_replace_{op.name}", tags=self._TAGS)
+            for index, tensor in enumerate(op.outputs):
+                redirects.setdefault(tensor.name, node.outputs[index])
 
-    def _apply_forward_actions(self, rewriter: GraphRewriter, op: Operation,
-                               actions: list[Action],
-                               redirects: dict[str, Operation]) -> None:
-        tags = {"alloc_scope": "tool"}
-        for action in actions:
-            if action.type == ActionType.INSERT_BEFORE_OP:
-                indices = action.tensor_indices
-                if indices is None:
-                    indices = tuple(range(len(op.inputs)))
-                elif not indices:
-                    # observation-only routine: trigger it off the first input
-                    indices = (0,) if op.inputs else ()
-                if not indices:
-                    continue
-                rewriter.insert_before_inputs(
-                    op, indices, self._wrap(action, len(indices)),
-                    name=f"PyCall_before_{op.name}", tags=tags)
-            elif action.type == ActionType.INSERT_AFTER_OP:
-                indices = action.tensor_indices
-                if indices is None:
-                    indices = tuple(range(len(op.outputs)))
-                elif not indices:
-                    indices = (0,)
-                node = rewriter.insert_after_outputs(
-                    op, indices, self._wrap(action, len(indices)),
-                    name=f"PyCall_after_{op.name}", tags=tags)
-                for position, index in enumerate(indices):
-                    redirects.setdefault(op.outputs[index].name,
-                                         node.outputs[position])
-            elif action.type == ActionType.REPLACE_OP:
-                node = rewriter.replace_op(
-                    op, self._make_replacement(action, len(op.outputs)),
-                    name=f"PyCall_replace_{op.name}", tags=tags)
-                for index, tensor in enumerate(op.outputs):
-                    redirects.setdefault(tensor.name, node.outputs[index])
-
-    def _make_replacement(self, action: Action, num_outputs: int):
-        mgr = self.manager
-
-        def run(*arrays):
-            result = mgr.run_instrumentation(action.func, arrays, action.kwargs)
-            if num_outputs == 1 and not isinstance(result, tuple):
-                return result
-            return result
-
-        return run
-
-    def _apply_backward_actions(self, rewriter: GraphRewriter, bop: Operation,
-                                actions: list[Action],
-                                redirects: dict[str, Operation]) -> None:
-        tags = {"alloc_scope": "tool"}
+    def _realize_backward(self, rewriter: GraphRewriter, bop: Operation,
+                          plan_slice: PlanSlice,
+                          redirects: dict[str, Operation]) -> None:
+        runner = self.manager.run_instrumentation
         grad_edges = self._grad_input_edges(bop)
         grad_positions = [bop.inputs.index(e) for e in grad_edges]
-        for action in actions:
-            if action.type == ActionType.INSERT_BEFORE_BACKWARD_OP:
-                indices = action.tensor_indices
-                if indices is None or not indices:
-                    indices = tuple(range(len(grad_positions)))
-                positions = tuple(grad_positions[i] for i in indices
-                                  if i < len(grad_positions))
-                if not positions:
-                    continue
-                rewriter.insert_before_inputs(
-                    bop, positions, self._wrap(action, len(positions)),
-                    name=f"PyCall_before_{bop.name}", tags=tags)
-            elif action.type == ActionType.INSERT_AFTER_BACKWARD_OP:
-                indices = action.tensor_indices
-                if indices is None or not indices:
-                    indices = tuple(range(len(bop.outputs)))
-                indices = tuple(i for i in indices if i < len(bop.outputs))
-                if not indices:
-                    continue
-                node = rewriter.insert_after_outputs(
-                    bop, indices, self._wrap(action, len(indices)),
-                    name=f"PyCall_after_{bop.name}", tags=tags)
-                for position, index in enumerate(indices):
-                    redirects.setdefault(bop.outputs[index].name,
-                                         node.outputs[position])
-            elif action.type == ActionType.REPLACE_BACKWARD_OP:
-                node = rewriter.replace_op(
-                    bop, self._make_replacement(action, len(bop.outputs)),
-                    name=f"PyCall_replace_{bop.name}", tags=tags)
-                for index, tensor in enumerate(bop.outputs):
-                    redirects.setdefault(tensor.name, node.outputs[index])
+        for step in plan_slice.before:
+            indices = step.indices
+            if not indices:  # None or (): all incoming gradients
+                indices = tuple(range(len(grad_positions)))
+            positions = tuple(grad_positions[i] for i in indices
+                              if i < len(grad_positions))
+            if not positions:
+                continue
+            rewriter.insert_before_inputs(
+                bop, positions, step.pycall(runner, len(positions)),
+                name=f"PyCall_before_{bop.name}", tags=self._TAGS)
+        for step in plan_slice.after:
+            indices = step.indices
+            if not indices:
+                indices = tuple(range(len(bop.outputs)))
+            indices = tuple(i for i in indices if i < len(bop.outputs))
+            if not indices:
+                continue
+            node = rewriter.insert_after_outputs(
+                bop, indices, step.pycall(runner, len(indices)),
+                name=f"PyCall_after_{bop.name}", tags=self._TAGS)
+            for position, index in enumerate(indices):
+                redirects.setdefault(bop.outputs[index].name,
+                                     node.outputs[position])
+        if plan_slice.replace is not None:
+            node = rewriter.replace_op(
+                bop, plan_slice.replace.pycall(runner, len(bop.outputs)),
+                name=f"PyCall_replace_{bop.name}", tags=self._TAGS)
+            for index, tensor in enumerate(bop.outputs):
+                redirects.setdefault(tensor.name, node.outputs[index])
+
+    # -- observability ----------------------------------------------------------------
+    def plan_stats(self) -> dict:
+        """Per-graph plan counters (merged into ``manager.plan_stats()``)."""
+        by_kind = {kind.value: 0 for kind in PlanKind}
+        ops: dict = {}
+        for _, _, plans in self._graph_cache.values():
+            for plan in plans:
+                by_kind[plan.kind.value] += 1
+                if plan.op_id is not None:
+                    ops[plan.op_id] = plan.stats()
+        return {"graphs": len(self._graph_cache),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "ops": ops, "by_kind": by_kind}
 
 
 register_driver_factory(GraphDriver)

@@ -9,7 +9,9 @@ session's per-node execution seam; the driver
   is the id key);
 * runs forward analysis routines lazily on a node's first execution and
   caches the recorded actions (the same action cache as the eager driver);
-* evaluates insert-before/insert-after/replace actions around the node.
+* replays the compiled :class:`~repro.core.plans.ExecutionPlan` around the
+  node — node values are plain ndarrays, so the shared
+  :data:`~repro.core.plans.NDARRAY_ADAPTER` is the whole backend seam.
 
 The backend is inference-only, so backward instrumentation points simply
 never fire — tools that register backward routines still load and run.
@@ -19,10 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.actions import Action, ActionType, IPoint
+from ..core.actions import IPoint
 from ..core.context import OpContext
 from ..core.interceptor import Interceptor
 from ..core.manager import CachedOpRecord, register_driver_factory
+from ..core.plans import NDARRAY_ADAPTER, PlanKind, run_steps
 from ..onnx.model import Node
 from ..onnx.session import InferenceSession
 from .interface import BackendDriver, SymbolicInput
@@ -55,43 +58,54 @@ class OnnxDriver(BackendDriver):
         if not mgr.active:
             return run_node(node, inputs)
 
+        span = mgr.begin_span()
         op_id = self._node_ids.get(id(node))
         if op_id is None:
             op_id = mgr.ids.assign(f"onnx/{node.name or node.op_type}")
             self._node_ids[id(node)] = op_id
 
         cached = mgr.cache_lookup(op_id)
-        if cached is not None and cached.empty:
-            return run_node(node, inputs)
-
-        if cached is not None:
-            actions = list(cached.forward_actions)
-            context = cached.context
-        else:
+        if cached is None:
+            # trace path: first execution of this node under this toolset
             context = self._build_context(session, node, inputs, op_id)
             mgr.run_analysis(context, IPoint.BEFORE_FORWARD)
             mgr.run_analysis(context, IPoint.AFTER_FORWARD)
-            actions = [a for a in context.actions if not a.type.is_backward]
             record = CachedOpRecord()
-            record.forward_actions = actions
+            record.forward_actions = [a for a in context.actions
+                                      if not a.type.is_backward]
             record.context = context
             record.user_state = context.has_user_state
             mgr.cache_store(op_id, record)
+            plan = record.plan
+        else:
+            plan = mgr.plan_for(cached, op_id=op_id)
+            plan.replays += 1
+            if plan.kind is PlanKind.VANILLA:
+                mgr.end_span(span)
+                return run_node(node, inputs)
 
-        before = [a for a in actions if a.type == ActionType.INSERT_BEFORE_OP]
-        after = [a for a in actions if a.type == ActionType.INSERT_AFTER_OP]
-        replace = next((a for a in actions
-                        if a.type == ActionType.REPLACE_OP), None)
+        forward = plan.forward
+        values = list(inputs)
+        if forward.before:
+            if run_steps(forward.before, values, NDARRAY_ADAPTER,
+                         mgr.run_instrumentation, clamp=True):
+                plan.mutations += 1
+        mgr.end_span(span)
 
-        inputs = self._apply(before, list(inputs))
-        if replace is not None:
-            result = mgr.run_instrumentation(replace.func, tuple(inputs),
-                                             replace.kwargs)
+        if forward.replace is not None:
+            # replacement routines consume the node's full input list
+            result = forward.replace.invoke(mgr.run_instrumentation,
+                                            tuple(values))
             outputs = list(result) if isinstance(result, tuple) else [result]
             outputs = [np.asarray(o) for o in outputs]
         else:
-            outputs = run_node(node, inputs)
-        outputs = self._apply(after, list(outputs))
+            outputs = list(run_node(node, values))
+
+        if forward.after:
+            span = mgr.begin_span()
+            run_steps(forward.after, outputs, NDARRAY_ADAPTER,
+                      mgr.run_instrumentation, clamp=True)
+            mgr.end_span(span)
         return outputs
 
     def _build_context(self, session: InferenceSession, node: Node,
@@ -114,22 +128,6 @@ class OnnxDriver(BackendDriver):
         context["_attrs"] = dict(node.attrs)
         context["type"] = node.op_type  # raw ONNX name; MappingTool normalizes
         return context
-
-    def _apply(self, actions: list[Action], values: list) -> list:
-        for action in actions:
-            indices = action.tensor_indices
-            if indices is None:
-                indices = tuple(range(len(values)))
-            indices = tuple(i for i in indices if i < len(values))
-            arrays = tuple(np.asarray(values[i]) for i in indices)
-            result = self.manager.run_instrumentation(action.func, arrays,
-                                                      action.kwargs)
-            if result is None:
-                continue
-            replacements = result if isinstance(result, tuple) else (result,)
-            for i, value in zip(indices, replacements):
-                values[i] = np.asarray(value)
-        return values
 
 
 register_driver_factory(OnnxDriver)

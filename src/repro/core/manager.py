@@ -27,6 +27,7 @@ from ..eager.dispatch import enable_grad, no_grad
 from .actions import Action, IPoint
 from .context import OpContext
 from .ids import OpIdAssigner
+from .plans import ExecutionPlan, PlanKind, compile_plan
 from .tool import Tool
 
 __all__ = ["InstrumentationManager", "manager", "apply", "disabled", "enabled",
@@ -37,7 +38,8 @@ __all__ = ["InstrumentationManager", "manager", "apply", "disabled", "enabled",
 class CachedOpRecord:
     """Per-op-id cache entry: recorded actions plus the analyzed context."""
 
-    __slots__ = ("forward_actions", "backward_actions", "context", "user_state")
+    __slots__ = ("forward_actions", "backward_actions", "context", "user_state",
+                 "plan")
 
     def __init__(self) -> None:
         self.forward_actions: list[Action] = []
@@ -47,6 +49,9 @@ class CachedOpRecord:
         #: mask) that backward contexts must still see — disables the vanilla
         #: fast path even with no forward actions
         self.user_state = False
+        #: compiled execution plan; attached by the manager at cache-store
+        #: time and recompiled on epoch change / ``cache_append``
+        self.plan: ExecutionPlan | None = None
 
     @property
     def empty(self) -> bool:
@@ -81,6 +86,9 @@ class InstrumentationManager:
         self._depth = 0
         # Fig. 11 breakdown accounting
         self.timers = {"framework": 0.0, "tool": 0.0}
+        # plan-layer observability (plan_stats)
+        self._plans_compiled = 0
+        self._plans_recompiled = 0
 
     # -- tool management ------------------------------------------------------
     @staticmethod
@@ -165,6 +173,7 @@ class InstrumentationManager:
         backward = i_point in (IPoint.BEFORE_BACKWARD, IPoint.AFTER_BACKWARD)
         require_outputs = i_point in (IPoint.AFTER_FORWARD, IPoint.AFTER_BACKWARD)
         start = time.perf_counter()
+        tool_before = self.timers["tool"]
         for tool in self.tools:
             registrations = tool.registrations_at(backward, require_outputs)
             if not registrations:
@@ -178,7 +187,10 @@ class InstrumentationManager:
         context._current_tool = None
         context._transform_write = True
         total = time.perf_counter() - start
-        self.timers["framework"] += max(0.0, total - 0.0)
+        # framework share = dispatch minus the callback time already accrued
+        # to timers["tool"] inside this call (Fig. 11 breakdown)
+        tool_this_call = self.timers["tool"] - tool_before
+        self.timers["framework"] += max(0.0, total - tool_this_call)
 
     # -- instrumentation-routine evaluation --------------------------------------
     def run_instrumentation(self, func: Callable, args: tuple, kwargs: dict):
@@ -193,6 +205,24 @@ class InstrumentationManager:
     def record_framework_time(self, seconds: float) -> None:
         self.timers["framework"] += seconds
 
+    def begin_span(self) -> tuple[float, float, float]:
+        """Open a framework-time span (Fig. 11 accounting).
+
+        Pairs with :meth:`end_span`, which attributes the wall time of the
+        span *minus* any tool/framework time accrued inside it — so nested
+        ``run_analysis``/``run_instrumentation`` calls are never counted
+        twice and ``framework + tool <= wall`` holds structurally.
+        """
+        return (time.perf_counter(), self.timers["tool"],
+                self.timers["framework"])
+
+    def end_span(self, span: tuple[float, float, float]) -> None:
+        start, tool_before, framework_before = span
+        elapsed = time.perf_counter() - start
+        inner = (self.timers["tool"] - tool_before
+                 + self.timers["framework"] - framework_before)
+        self.timers["framework"] += max(0.0, elapsed - inner)
+
     def reset_timers(self) -> None:
         self.timers = {"framework": 0.0, "tool": 0.0}
 
@@ -203,6 +233,9 @@ class InstrumentationManager:
         return self.action_cache.get(op_id)
 
     def cache_store(self, op_id: int, record: CachedOpRecord) -> None:
+        # compile the plan even when caching is disabled: the record's own
+        # execution this call still replays through it
+        self.plan_for(record, op_id=op_id, count_hit=False)
         if self.cache_enabled:
             self.action_cache[op_id] = record
 
@@ -212,6 +245,9 @@ class InstrumentationManager:
         Used by tools (e.g. subgraph rewriting) whose analysis of a *later*
         operator retroactively instruments an earlier one; in eager mode the
         action takes effect from the next execution of that operator.
+        Invalidates the record's compiled plan so a stale fast-path
+        classification (e.g. a record promoted to ``VANILLA``) cannot
+        survive the append.
         """
         record = self.action_cache.get(op_id)
         if record is None:
@@ -220,7 +256,59 @@ class InstrumentationManager:
             record.backward_actions.append(action)
         else:
             record.forward_actions.append(action)
+        if record.plan is not None:
+            record.plan.invalidate()
         return True
+
+    # -- execution plans ----------------------------------------------------------
+    def plan_for(self, record: CachedOpRecord, op_id: int | None = None,
+                 count_hit: bool = True) -> ExecutionPlan:
+        """The record's compiled plan, recompiling when stale.
+
+        A plan is stale when it predates the current ``tool_epoch`` or was
+        explicitly invalidated (``cache_append``).
+        """
+        plan = record.plan
+        if plan is None or plan.epoch != self.tool_epoch:
+            plan = compile_plan(record, epoch=self.tool_epoch,
+                                op_id=op_id if op_id is not None
+                                else (plan.op_id if plan else None),
+                                prior=plan)
+            record.plan = plan
+            if plan.recompiles:
+                self._plans_recompiled += 1
+            self._plans_compiled += 1
+        if count_hit:
+            plan.hits += 1
+        return plan
+
+    def plan_stats(self) -> dict:
+        """Observability for the plan layer (pair with the Fig. 12 benchmark).
+
+        Returns per-op plan counters for every cached record, aggregate
+        totals by :class:`PlanKind`, compile/recompile counts, and any
+        backend-specific plan stats (e.g. graph-mode instrumented-graph
+        plans) under ``"backends"``.
+        """
+        ops = {}
+        by_kind = {kind.value: 0 for kind in PlanKind}
+        for op_id, record in self.action_cache.items():
+            if record.plan is None:
+                continue
+            ops[op_id] = record.plan.stats()
+            by_kind[record.plan.kind.value] += 1
+        stats = {
+            "ops": ops,
+            "by_kind": by_kind,
+            "compiled": self._plans_compiled,
+            "recompiled": self._plans_recompiled,
+            "backends": {},
+        }
+        for driver in self._drivers:
+            backend_stats = getattr(driver, "plan_stats", None)
+            if backend_stats is not None:
+                stats["backends"][driver.namespace] = backend_stats()
+        return stats
 
 
 #: process-global manager instance
