@@ -24,11 +24,12 @@ from .. import tools
 _sys.modules[__name__ + ".tools"] = tools
 from ..core.actions import Action, ActionType, IPoint
 from ..core.context import OpContext
+from ..core.faults import (ERROR_POLICIES, InstrumentationError, Provenance)
 from ..core.ids import LinearCongruentialGenerator, OpIdAssigner
 from ..core.interceptor import Interceptor
 from ..core.manager import (InstrumentationManager, allow_instrumented_ad,
                            apply, cache_disabled, cache_enabled, disabled,
-                           enabled, manager, new_iteration)
+                           enabled, error_policy, manager, new_iteration)
 from ..core.tool import Tool
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "apply", "disabled", "enabled", "cache_disabled", "cache_enabled",
     "allow_instrumented_ad", "new_iteration", "manager",
     "InstrumentationManager", "Interceptor", "LinearCongruentialGenerator",
-    "OpIdAssigner", "tools",
+    "OpIdAssigner", "tools", "error_policy", "InstrumentationError",
+    "Provenance", "ERROR_POLICIES",
 ]

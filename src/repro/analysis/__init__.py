@@ -27,6 +27,8 @@ Run ``python -m repro.analysis`` to verify and lint the graphs built by the
 
 from .lint import LintIssue, lint_contexts
 from .liveness import LivenessReport, estimate_liveness
+from .source_lint import (SourceLintIssue, lint_span_safety,
+                          lint_span_safety_source)
 from .schemas import (EAGER_SCHEMAS, GRAPH_SCHEMAS, InferenceError, OpSchema,
                       SchemaError, check_registry_complete,
                       missing_eager_schemas, missing_graph_schemas,
@@ -43,4 +45,5 @@ __all__ = [
     "verify_graph",
     "LintIssue", "lint_contexts",
     "LivenessReport", "estimate_liveness",
+    "SourceLintIssue", "lint_span_safety", "lint_span_safety_source",
 ]

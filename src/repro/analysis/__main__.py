@@ -61,6 +61,16 @@ def _check_schemas() -> int:
     return 0
 
 
+def _check_span_safety() -> int:
+    from .source_lint import lint_span_safety
+    issues = lint_span_safety()
+    for issue in issues:
+        print(f"FAIL {issue}")
+    if not issues:
+        print("ok   span accounting exception-safe in backend drivers")
+    return len(issues)
+
+
 def _analyze_example(name: str, build, feeds, strict: bool) -> int:
     from .. import amanda
     from ..tools.profiling import FlopsProfilingTool
@@ -129,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
     np.seterr(all="ignore")
     selected = args.examples or sorted(examples)
     failures = _check_schemas()
+    failures += _check_span_safety()
     for name in selected:
         build, feeds = examples[name]
         failures += _analyze_example(name, build, feeds, args.strict)

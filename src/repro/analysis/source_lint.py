@@ -1,0 +1,116 @@
+"""Source-level lint: span accounting must be exception-safe.
+
+The Fig. 11 framework/tool time breakdown only stays truthful if every
+``begin_span()`` is eventually matched by an ``end_span()`` — including on
+the error path.  A driver function that opens a span and closes it only on
+the happy path permanently skews the breakdown the first time a tool routine
+raises.  Spans are idempotent to close, so the convention is cheap: any
+function that calls ``begin_span()`` must also call ``end_span()`` inside a
+``finally`` block (eager mid-body closes for kernel handoff are fine — the
+``finally`` close is the safety net).
+
+This is a *source* lint (AST-based), complementing the action-stream lint in
+:mod:`repro.analysis.lint`: it runs over the backend driver sources, not over
+recorded instrumentation actions.  Wired into ``python -m repro.analysis``
+so CI catches a regressed span pairing before any test exercises the error
+path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["SourceLintIssue", "lint_span_safety", "lint_span_safety_source"]
+
+RULE_SPAN_NOT_FINALLY = "span-not-finally"
+
+
+@dataclass(frozen=True)
+class SourceLintIssue:
+    """One source-lint finding, pointing at the offending function."""
+
+    rule: str
+    path: str
+    line: int
+    function: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.function}: "
+                f"{self.message}")
+
+
+def _call_name(node: ast.AST) -> str | None:
+    """The called name for ``f(...)`` / ``obj.f(...)``, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _own_nodes(function: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _calls_in(nodes: Iterable[ast.AST], name: str) -> bool:
+    return any(_call_name(node) == name for node in nodes)
+
+
+def _finally_nodes(function: ast.AST) -> Iterable[ast.AST]:
+    """Every node lexically inside a ``finally`` block of the function."""
+    for node in _own_nodes(function):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                yield stmt
+                yield from ast.walk(stmt)
+
+
+def lint_span_safety_source(source: str,
+                            path: str = "<string>") -> list[SourceLintIssue]:
+    """Lint one module's source text for span-safety violations."""
+    issues: list[SourceLintIssue] = []
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        body = list(_own_nodes(node))
+        if not _calls_in(body, "begin_span"):
+            continue
+        if _calls_in(_finally_nodes(node), "end_span"):
+            continue
+        issues.append(SourceLintIssue(
+            rule=RULE_SPAN_NOT_FINALLY,
+            path=path, line=node.lineno, function=node.name,
+            message="begin_span() without an end_span() in a finally block "
+                    "— a raising tool routine would leak the open span"))
+    return issues
+
+
+def _default_paths() -> list[Path]:
+    backends = Path(__file__).resolve().parent.parent / "backends"
+    return sorted(backends.glob("*.py"))
+
+
+def lint_span_safety(paths: Iterable[str | Path] | None = None
+                     ) -> list[SourceLintIssue]:
+    """Lint the backend driver sources (or ``paths``) for span safety."""
+    issues: list[SourceLintIssue] = []
+    for path in (_default_paths() if paths is None
+                 else [Path(p) for p in paths]):
+        issues.extend(lint_span_safety_source(path.read_text(), str(path)))
+    return issues

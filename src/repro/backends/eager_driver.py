@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.actions import IPoint
 from ..core.context import OpContext
+from ..core.faults import InstrumentationError, Provenance
 from ..core.interceptor import Interceptor
 from ..core.manager import CachedOpRecord, register_driver_factory
 from ..core.plans import (EMPTY_SLICE, NDARRAY_ADAPTER, ExecutionPlan,
@@ -77,6 +78,12 @@ class EagerDriver(BackendDriver):
         self._busy = False
         self._patched: set[str] = set()
         self._last_top_module = None
+        #: forward OpCalls carrying per-iteration backward-tracking metadata
+        #: (``forward_plan``/``context``) — cleared at iteration boundaries
+        #: and on detach so no plan or context outlives its apply scope
+        self._pending_calls: list[OpCall] = []
+        #: ops continued vanilla after a contained tool failure (health)
+        self.recovered = 0
 
     # -- lifecycle --------------------------------------------------------------
     def attach(self) -> None:
@@ -90,11 +97,26 @@ class EagerDriver(BackendDriver):
         dispatch.remove_top_level_entry_listener(self._on_module_entry)
         self._interceptor.restore_all()
         self._patched.clear()
+        self._busy = False
         self._last_top_module = None
+        self._clear_pending()
+
+    def _clear_pending(self) -> None:
+        """Reset per-forward-op backward tracking (iteration/detach boundary).
+
+        Stale ``forward_plan``/``context`` metadata on user-held autograd
+        graphs would otherwise leak a previous apply scope's plans into a
+        later attach (the eager twin of the PR-1 ``GraphDriver.detach`` fix).
+        """
+        for op_call in self._pending_calls:
+            op_call.metadata.pop("forward_plan", None)
+            op_call.metadata.pop("context", None)
+        self._pending_calls.clear()
 
     def _on_backward_done(self) -> None:
         self.manager.new_iteration()
         self._last_top_module = None
+        self._clear_pending()
 
     def _on_module_entry(self, module) -> None:
         # Re-entering the *same* top-level module starts a new iteration
@@ -102,7 +124,16 @@ class EagerDriver(BackendDriver):
         # level is still part of the current iteration.
         if module is getattr(self, "_last_top_module", None):
             self.manager.new_iteration()
+            self._clear_pending()
         self._last_top_module = module
+
+    def health(self) -> dict:
+        return {"recovered": self.recovered}
+
+    def _prov(self, op_id, op_type: str, i_point: str,
+              tool: str | None = None) -> Provenance:
+        return Provenance(tool=tool, op_id=op_id, op_type=op_type,
+                          i_point=i_point, backend=self.namespace)
 
     def _patch_op(self, opdef: OpDef) -> None:
         if opdef.name in self._patched:
@@ -120,22 +151,42 @@ class EagerDriver(BackendDriver):
 
         span = mgr.begin_span()
         op_id = mgr.ids.assign(opdef.name)
-        cached = mgr.cache_lookup(op_id)
-        if cached is None:
-            return self._trace_forward(opdef, inputs, attrs, op_id, span)
+        try:
+            cached = mgr.cache_lookup(op_id)
+            if cached is None:
+                return self._trace_forward(opdef, inputs, attrs, op_id, span)
 
-        plan = mgr.plan_for(cached, op_id=op_id)
-        plan.replays += 1
-        if plan.kind is PlanKind.VANILLA:
-            # this op instance was analyzed and left alone
+            plan = mgr.plan_for(cached, op_id=op_id)
+            plan.replays += 1
+            if plan.kind is PlanKind.VANILLA:
+                # this op instance was analyzed and left alone
+                mgr.end_span(span)
+                return vanilla_apply(opdef, inputs, attrs)
+            if plan.kind is PlanKind.OBSERVE_ONLY:
+                return self._replay_observe(plan, opdef, inputs, attrs, op_id,
+                                            span)
+            return self._replay_mutating(plan, opdef, inputs, attrs, op_id,
+                                         span)
+        except InstrumentationError:
+            # recovery point: invariants are restored here (span closed by
+            # the finally, busy flag down), then policy decides between
+            # propagating and substituting the vanilla computation
+            self._busy = False
+            if mgr.error_policy == "raise":
+                if op_id not in mgr.action_cache:
+                    # aborted trace: make the occurrence counter look like
+                    # the op never executed, so a retried iteration derives
+                    # the same op id instead of drifting
+                    mgr.ids.retract(opdef.name)
+                raise
+            self.recovered += 1
             mgr.end_span(span)
             return vanilla_apply(opdef, inputs, attrs)
-        if plan.kind is PlanKind.OBSERVE_ONLY:
-            return self._replay_observe(plan, opdef, inputs, attrs, span)
-        return self._replay_mutating(plan, opdef, inputs, attrs, op_id, span)
+        finally:
+            mgr.end_span(span)
 
     def _replay_observe(self, plan: ExecutionPlan, opdef: OpDef,
-                        inputs: tuple, attrs: dict, span):
+                        inputs: tuple, attrs: dict, op_id: int, span):
         """Insert-only replay: no replace, no backward actions, no user state,
         so no call record or autograd metadata wiring is needed."""
         mgr = self.manager
@@ -145,7 +196,9 @@ class EagerDriver(BackendDriver):
         if forward.before:
             values = list(inputs)
             mutated = run_steps(forward.before, values, INPUT_ADAPTER,
-                                mgr.run_instrumentation)
+                                mgr.run_instrumentation,
+                                provenance=self._prov(op_id, opdef.name,
+                                                      "before_forward_op"))
             if mutated:
                 plan.mutations += 1
                 exec_inputs = tuple(values)
@@ -153,12 +206,33 @@ class EagerDriver(BackendDriver):
         result = vanilla_apply(opdef, exec_inputs, attrs,
                                autograd_inputs=inputs if mutated else None)
         if forward.after:
-            span = mgr.begin_span()
             outputs = result if isinstance(result, tuple) else (result,)
-            run_steps(forward.after, list(outputs), OUTPUT_ADAPTER,
-                      mgr.run_instrumentation)
-            mgr.end_span(span)
+            self._after_forward_steps(forward.after, outputs, op_id,
+                                      opdef.name)
         return result
+
+    def _after_forward_steps(self, steps, outputs: tuple, op_id: int,
+                             op_type: str) -> None:
+        """Run after-forward insert steps over the produced outputs.
+
+        After-steps run once the op has already produced its result; a
+        failing routine cannot invalidate it, so under the non-raise
+        policies recovery keeps the computed outputs instead of bubbling up
+        and re-executing the op vanilla.
+        """
+        mgr = self.manager
+        span = mgr.begin_span()
+        try:
+            run_steps(steps, list(outputs), OUTPUT_ADAPTER,
+                      mgr.run_instrumentation,
+                      provenance=self._prov(op_id, op_type,
+                                            "after_forward_op"))
+        except InstrumentationError:
+            if mgr.error_policy == "raise":
+                raise
+            self.recovered += 1
+        finally:
+            mgr.end_span(span)
 
     def _replay_mutating(self, plan: ExecutionPlan, opdef: OpDef,
                          inputs: tuple, attrs: dict, op_id: int, span):
@@ -173,10 +247,16 @@ class EagerDriver(BackendDriver):
         if forward.before:
             values = list(inputs)
             if run_steps(forward.before, values, INPUT_ADAPTER,
-                         mgr.run_instrumentation):
+                         mgr.run_instrumentation,
+                         provenance=self._prov(op_id, opdef.name,
+                                               "before_forward_op")):
                 exec_inputs = tuple(values)
-        forward_override = (forward.replace.forward_override
-                            if forward.replace is not None else None)
+        forward_override = None
+        if forward.replace is not None:
+            forward_override = forward.replace.guarded_override(
+                mgr.run_instrumentation,
+                self._prov(op_id, opdef.name, "replace_op",
+                           tool=forward.replace.action.tool))
         if forward_override is not None or exec_inputs is not inputs:
             plan.mutations += 1
         mgr.end_span(span)
@@ -186,16 +266,25 @@ class EagerDriver(BackendDriver):
                                op_call=op_call, autograd_inputs=inputs)
 
         span = mgr.begin_span()
-        outputs = op_call.outputs
-        if context is not None:
-            context["_outputs"] = list(outputs)
-        if forward.after:
-            run_steps(forward.after, list(outputs), OUTPUT_ADAPTER,
-                      mgr.run_instrumentation)
-        if op_call.node is not None:
-            op_call.metadata["forward_plan"] = plan
-            op_call.metadata["context"] = context
-        mgr.end_span(span)
+        try:
+            outputs = op_call.outputs
+            if context is not None:
+                context["_outputs"] = list(outputs)
+            if op_call.node is not None:
+                op_call.metadata["forward_plan"] = plan
+                op_call.metadata["context"] = context
+                self._pending_calls.append(op_call)
+            if forward.after:
+                run_steps(forward.after, list(outputs), OUTPUT_ADAPTER,
+                          mgr.run_instrumentation,
+                          provenance=self._prov(op_id, opdef.name,
+                                                "after_forward_op"))
+        except InstrumentationError:
+            if mgr.error_policy == "raise":
+                raise
+            self.recovered += 1
+        finally:
+            mgr.end_span(span)
         return result
 
     def _trace_forward(self, opdef: OpDef, inputs: tuple, attrs: dict,
@@ -220,10 +309,16 @@ class EagerDriver(BackendDriver):
         if pre.before:
             values = list(inputs)
             if run_steps(pre.before, values, INPUT_ADAPTER,
-                         mgr.run_instrumentation):
+                         mgr.run_instrumentation,
+                         provenance=self._prov(op_id, opdef.name,
+                                               "before_forward_op")):
                 exec_inputs = tuple(values)
-        forward_override = (pre.replace.forward_override
-                            if pre.replace is not None else None)
+        forward_override = None
+        if pre.replace is not None:
+            forward_override = pre.replace.guarded_override(
+                mgr.run_instrumentation,
+                self._prov(op_id, opdef.name, "replace_op",
+                           tool=pre.replace.action.tool))
         mgr.end_span(span)
 
         result = vanilla_apply(opdef, exec_inputs, attrs,
@@ -231,31 +326,43 @@ class EagerDriver(BackendDriver):
                                op_call=op_call, autograd_inputs=inputs)
 
         span = mgr.begin_span()
-        outputs = op_call.outputs
-        context["_outputs"] = list(outputs)
-        self._busy = True
         try:
-            mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+            outputs = op_call.outputs
+            context["_outputs"] = list(outputs)
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.AFTER_FORWARD)
+            finally:
+                self._busy = False
+
+            record = CachedOpRecord()
+            record.forward_actions = [a for a in context.actions
+                                      if not a.type.is_backward]
+            record.backward_actions = [a for a in context.actions
+                                       if a.type.is_backward]
+            record.context = context
+            record.user_state = context.has_user_state
+            mgr.cache_store(op_id, record)
+            plan = record.plan
+
+            if op_call.node is not None:
+                op_call.metadata["forward_plan"] = plan
+                op_call.metadata["context"] = context
+                self._pending_calls.append(op_call)
+            if plan.forward.after:
+                run_steps(plan.forward.after, list(outputs), OUTPUT_ADAPTER,
+                          mgr.run_instrumentation,
+                          provenance=self._prov(op_id, opdef.name,
+                                                "after_forward_op"))
+        except InstrumentationError:
+            # the op already executed: under the non-raise policies keep the
+            # result (no double execution); under "raise" the recovery point
+            # in _instrumented_call unwinds and propagates
+            if mgr.error_policy == "raise":
+                raise
+            self.recovered += 1
         finally:
-            self._busy = False
-
-        record = CachedOpRecord()
-        record.forward_actions = [a for a in context.actions
-                                  if not a.type.is_backward]
-        record.backward_actions = [a for a in context.actions
-                                   if a.type.is_backward]
-        record.context = context
-        record.user_state = context.has_user_state
-        mgr.cache_store(op_id, record)
-        plan = record.plan
-
-        if plan.forward.after:
-            run_steps(plan.forward.after, list(outputs), OUTPUT_ADAPTER,
-                      mgr.run_instrumentation)
-        if op_call.node is not None:
-            op_call.metadata["forward_plan"] = plan
-            op_call.metadata["context"] = context
-        mgr.end_span(span)
+            mgr.end_span(span)
         return result
 
     #: estimated bookkeeping bytes per context/action object, fed to the
@@ -287,28 +394,58 @@ class EagerDriver(BackendDriver):
 
         span = mgr.begin_span()
         bwd_id = mgr.backward_ids.assign(bdef.name)
-        cached = mgr.cache_lookup(bwd_id)
-        op_call = node.op_call
-        forward_plan: ExecutionPlan | None = None
-        if op_call is not None:
-            forward_plan = op_call.metadata.get("forward_plan")
-        inherited = (forward_plan.backward_slice(bdef.name)
-                     if forward_plan is not None else EMPTY_SLICE)
+        try:
+            cached = mgr.cache_lookup(bwd_id)
+            op_call = node.op_call
+            forward_plan: ExecutionPlan | None = None
+            if op_call is not None:
+                forward_plan = op_call.metadata.get("forward_plan")
+                if (forward_plan is not None
+                        and forward_plan.epoch != mgr.tool_epoch):
+                    # the toolset changed between forward and backward (e.g.
+                    # a mid-iteration quarantine): recompile so a disabled
+                    # tool's backward actions are not replayed stale
+                    fwd_id = op_call.metadata.get("op_id")
+                    record = mgr.action_cache.get(fwd_id)
+                    if record is not None:
+                        forward_plan = mgr.plan_for(record, op_id=fwd_id,
+                                                    count_hit=False)
+                        op_call.metadata["forward_plan"] = forward_plan
+                    else:
+                        forward_plan = None
+            inherited = (forward_plan.backward_slice(bdef.name)
+                         if forward_plan is not None else EMPTY_SLICE)
 
-        if cached is None:
-            return self._trace_backward(node, bdef, grad_outputs, bwd_id,
-                                        inherited, op_call, span)
+            if cached is None:
+                return self._trace_backward(node, bdef, grad_outputs, bwd_id,
+                                            inherited, op_call, span)
 
-        plan = mgr.plan_for(cached, op_id=bwd_id)
-        plan.replays += 1
-        if plan.kind is PlanKind.VANILLA and inherited.empty:
+            plan = mgr.plan_for(cached, op_id=bwd_id)
+            plan.replays += 1
+            if plan.kind is PlanKind.VANILLA and inherited.empty:
+                mgr.end_span(span)
+                return bdef.fn(node.ctx, grad_outputs)
+            combined = PlanSlice.concat(inherited,
+                                        plan.backward_slice(bdef.name))
+            return self._run_backward(node, bdef, grad_outputs, combined,
+                                      bwd_id, span)
+        except InstrumentationError:
+            # recovery point, mirroring _instrumented_call: restore the
+            # invariants, then propagate or fall back to the vanilla
+            # backward computation with the original gradients
+            self._busy = False
+            if mgr.error_policy == "raise":
+                if bwd_id not in mgr.action_cache:
+                    mgr.backward_ids.retract(bdef.name)
+                raise
+            self.recovered += 1
             mgr.end_span(span)
             return bdef.fn(node.ctx, grad_outputs)
-        combined = PlanSlice.concat(inherited, plan.backward_slice(bdef.name))
-        return self._run_backward(node, bdef, grad_outputs, combined, span)
+        finally:
+            mgr.end_span(span)
 
     def _run_backward(self, node, bdef, grad_outputs, plan_slice: PlanSlice,
-                      span):
+                      bwd_id: int, span):
         """Replay a backward slice: before steps on incoming gradients, the
         (possibly replaced) backward computation, after steps on produced
         gradients."""
@@ -316,35 +453,65 @@ class EagerDriver(BackendDriver):
         if plan_slice.before:
             values = list(grad_outputs)
             run_steps(plan_slice.before, values, NDARRAY_ADAPTER,
-                      mgr.run_instrumentation, clamp=True)
+                      mgr.run_instrumentation, clamp=True,
+                      provenance=self._prov(bwd_id, bdef.name,
+                                            "before_backward_op"))
             grad_outputs = tuple(values)
         mgr.end_span(span)
 
         grads = self._backward_compute(node, bdef, grad_outputs,
-                                       plan_slice.replace)
+                                       plan_slice.replace, bwd_id)
 
         if plan_slice.after:
-            span = mgr.begin_span()
-            grads = self._apply_after_grads(plan_slice.after, grads)
-            mgr.end_span(span)
+            grads = self._guarded_after_grads(plan_slice.after, grads,
+                                              bwd_id, bdef.name)
         return grads
 
-    def _backward_compute(self, node, bdef, grad_outputs, replace):
+    def _backward_compute(self, node, bdef, grad_outputs, replace, bwd_id):
         if replace is None:
             return bdef.fn(node.ctx, grad_outputs)
-        grads = self.manager.run_instrumentation(
-            replace.func, tuple(replace.select(grad_outputs)), replace.kwargs)
+        mgr = self.manager
+        provenance = self._prov(bwd_id, bdef.name, "replace_backward_op",
+                                tool=replace.action.tool)
+        grads = mgr.run_instrumentation(
+            replace.func, tuple(replace.select(grad_outputs)), replace.kwargs,
+            provenance)
         if not isinstance(grads, dict):
-            raise TypeError(
-                "replace_backward_op routines must return a dict "
-                "{forward_input_index: grad}")
+            # a wrong-shaped return is a tool failure like any other: wrap
+            # it so policy-driven recovery and health provenance apply
+            error = InstrumentationError(
+                TypeError("replace_backward_op routines must return a dict "
+                          "{forward_input_index: grad}"),
+                provenance, phase="instrumentation")
+            mgr.record_failure(error)
+            if mgr.error_policy == "quarantine" and provenance.tool:
+                mgr.quarantine(provenance.tool)
+            raise error
         return grads
 
-    def _apply_after_grads(self, steps, grads: dict) -> dict:
+    def _guarded_after_grads(self, steps, grads: dict, bwd_id: int,
+                             op_type: str) -> dict:
+        """After-backward steps; recovery keeps the computed gradients."""
+        mgr = self.manager
+        span = mgr.begin_span()
+        try:
+            return self._apply_after_grads(steps, grads, bwd_id, op_type)
+        except InstrumentationError:
+            if mgr.error_policy == "raise":
+                raise
+            self.recovered += 1
+            return grads
+        finally:
+            mgr.end_span(span)
+
+    def _apply_after_grads(self, steps, grads: dict, bwd_id: int | None = None,
+                           op_type: str | None = None) -> dict:
         ordered_keys = sorted(grads)
         grad_list = [grads[k] for k in ordered_keys]
         run_steps(steps, grad_list, NDARRAY_ADAPTER,
-                  self.manager.run_instrumentation, clamp=True)
+                  self.manager.run_instrumentation, clamp=True,
+                  provenance=self._prov(bwd_id, op_type or "?",
+                                        "after_backward_op"))
         return dict(zip(ordered_keys, grad_list))
 
     def _trace_backward(self, node, bdef, grad_outputs, bwd_id,
@@ -366,34 +533,46 @@ class EagerDriver(BackendDriver):
         if combined.before:
             values = list(grad_outputs)
             run_steps(combined.before, values, NDARRAY_ADAPTER,
-                      mgr.run_instrumentation, clamp=True)
+                      mgr.run_instrumentation, clamp=True,
+                      provenance=self._prov(bwd_id, bdef.name,
+                                            "before_backward_op"))
             grad_outputs = tuple(values)
         mgr.end_span(span)
 
         grads = self._backward_compute(node, bdef, grad_outputs,
-                                       combined.replace)
+                                       combined.replace, bwd_id)
 
         span = mgr.begin_span()
-        ordered_keys = sorted(grads)
-        context["_grad_inputs"] = [grads[k] for k in ordered_keys]
-        self._busy = True
         try:
-            mgr.run_analysis(context, IPoint.AFTER_BACKWARD)
+            ordered_keys = sorted(grads)
+            context["_grad_inputs"] = [grads[k] for k in ordered_keys]
+            self._busy = True
+            try:
+                mgr.run_analysis(context, IPoint.AFTER_BACKWARD)
+            finally:
+                self._busy = False
+
+            record = CachedOpRecord()
+            record.forward_actions = [
+                a for a in context.actions
+                if a.backward_op is None or a.backward_op == bdef.name]
+            record.context = context
+            mgr.cache_store(bwd_id, record)
+
+            # replay the full after list (inherited + everything just recorded)
+            full = PlanSlice.concat(inherited,
+                                    record.plan.backward_slice(bdef.name))
+            if full.after:
+                grads = self._apply_after_grads(full.after, grads, bwd_id,
+                                                bdef.name)
+        except InstrumentationError:
+            # the backward computation already produced grads: keep them
+            # under the non-raise policies instead of recomputing vanilla
+            if mgr.error_policy == "raise":
+                raise
+            self.recovered += 1
         finally:
-            self._busy = False
-
-        record = CachedOpRecord()
-        record.forward_actions = [
-            a for a in context.actions
-            if a.backward_op is None or a.backward_op == bdef.name]
-        record.context = context
-        mgr.cache_store(bwd_id, record)
-
-        # replay the full after list (inherited + everything just recorded)
-        full = PlanSlice.concat(inherited, record.plan.backward_slice(bdef.name))
-        if full.after:
-            grads = self._apply_after_grads(full.after, grads)
-        mgr.end_span(span)
+            mgr.end_span(span)
         return grads
 
     def _build_backward_context(self, node, bdef, bwd_id, grad_outputs,

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.actions import IPoint
 from ..core.context import OpContext
+from ..core.faults import InstrumentationError, Provenance
 from ..core.ids import OpIdAssigner
 from ..core.interceptor import Interceptor
 from ..core.manager import register_driver_factory
@@ -58,6 +59,8 @@ class GraphDriver(BackendDriver):
         self.last_plans: list[ExecutionPlan] = []
         #: verification report of the most recent rewrite (when verifying)
         self.last_report = None
+        #: runs served by the vanilla graph after a contained failure
+        self.vanilla_fallbacks = 0
 
     @property
     def _should_verify(self) -> bool:
@@ -79,6 +82,11 @@ class GraphDriver(BackendDriver):
         self.last_contexts = []
         self.last_plans = []
         self.last_report = None
+        self.vanilla_fallbacks = 0
+
+    def health(self) -> dict:
+        return {"vanilla_fallbacks": self.vanilla_fallbacks,
+                "rewrite_count": self.rewrite_count}
 
     # -- run interception ----------------------------------------------------------
     def _intercept_run(self, session: Session, fetches, feed, run_impl):
@@ -89,12 +97,28 @@ class GraphDriver(BackendDriver):
         entry = self._graph_cache.get(key) if mgr.cache_enabled else None
         if entry is None:
             self.cache_misses += 1
-            instrumented, redirects = self._instrument_graph(
-                session.graph, feed_shapes={
-                    name: np.asarray(value).shape
-                    for name, value in feed.items()})
+            try:
+                instrumented, redirects = self._instrument_graph(
+                    session.graph, feed_shapes={
+                        name: np.asarray(value).shape
+                        for name, value in feed.items()})
+            except Exception as exc:
+                if mgr.error_policy == "raise":
+                    raise
+                if not isinstance(exc, InstrumentationError):
+                    # rewrite machinery failed realizing recorded actions;
+                    # record it with rewrite provenance before falling back
+                    mgr.record_failure(InstrumentationError(
+                        exc, Provenance(backend=self.namespace),
+                        phase="rewrite"))
+                self.vanilla_fallbacks += 1
+                return run_impl(session.graph, fetches, feed)
             entry = (instrumented, redirects, self.last_plans)
             if mgr.cache_enabled:
+                # analysis may have moved the epoch (mid-rewrite quarantine):
+                # store under the key the *next* lookup will compute, never
+                # orphaning the entry under a stale epoch
+                key = session.graph.fingerprint() + (mgr.tool_epoch,)
                 self._graph_cache[key] = entry
         else:
             self.cache_hits += 1
@@ -108,7 +132,16 @@ class GraphDriver(BackendDriver):
             if target is None:
                 target = instrumented.get_tensor(tensor.name)
             mapped.append(target)
-        return run_impl(instrumented, mapped, feed)
+        try:
+            return run_impl(instrumented, mapped, feed)
+        except InstrumentationError:
+            # a callback op failed inside the instrumented graph: switch
+            # back to the vanilla graph the user submitted, unless the
+            # policy says propagate (provenance already recorded)
+            if mgr.error_policy == "raise":
+                raise
+            self.vanilla_fallbacks += 1
+            return run_impl(session.graph, fetches, feed)
 
     # -- rewriting ---------------------------------------------------------------
     def _instrument_graph(self, graph: Graph,
@@ -116,6 +149,14 @@ class GraphDriver(BackendDriver):
         self.rewrite_count += 1
         mgr = self.manager
         span = mgr.begin_span()
+        try:
+            return self._instrument_graph_inner(graph, feed_shapes)
+        finally:
+            mgr.end_span(span)
+
+    def _instrument_graph_inner(self, graph: Graph,
+                                feed_shapes: dict | None) -> tuple[Graph, dict]:
+        mgr = self.manager
         clone, _ = copy_graph(graph)
         # account the instrumented graph instance + per-op contexts as
         # framework bookkeeping memory (Fig. 13)
@@ -162,7 +203,8 @@ class GraphDriver(BackendDriver):
             plan = compile_actions(context.actions, epoch=mgr.tool_epoch,
                                    op_id=op.op_id,
                                    user_state=context.has_user_state,
-                                   context=context)
+                                   context=context,
+                                   exclude_tools=mgr.quarantined)
             plans.append(plan)
             plan_by_context[id(context)] = plan
             self._realize_forward(rewriter, op, plan.forward, redirects)
@@ -171,7 +213,8 @@ class GraphDriver(BackendDriver):
             backward_plan = compile_actions(bcontext.actions,
                                             epoch=mgr.tool_epoch,
                                             op_id=bcontext.get("_backward_op_id"),
-                                            context=bcontext)
+                                            context=bcontext,
+                                            exclude_tools=mgr.quarantined)
             plans.append(backward_plan)
             # a backward op is addressable by its raw type or the normalized
             # name a mapping tool wrote into the context
@@ -192,7 +235,6 @@ class GraphDriver(BackendDriver):
                 clone, feed_shapes=feed_shapes, redirects=redirects,
                 source_graph=graph, raise_on_error=True)
 
-        mgr.end_span(span)
         return clone, redirects
 
     # -- contexts -------------------------------------------------------------------
@@ -260,6 +302,11 @@ class GraphDriver(BackendDriver):
 
     _TAGS = {"alloc_scope": "tool"}
 
+    def _prov(self, op: Operation, i_point: str,
+              tool: str | None = None) -> Provenance:
+        return Provenance(tool=tool, op_id=op.op_id, op_type=op.type,
+                          i_point=i_point, backend=self.namespace)
+
     def _realize_forward(self, rewriter: GraphRewriter, op: Operation,
                          plan_slice: PlanSlice,
                          redirects: dict[str, Operation]) -> None:
@@ -274,7 +321,10 @@ class GraphDriver(BackendDriver):
             if not indices:
                 continue
             rewriter.insert_before_inputs(
-                op, indices, step.pycall(runner, len(indices)),
+                op, indices,
+                step.pycall(runner, len(indices),
+                            self._prov(op, "before_forward_op",
+                                       step.action.tool)),
                 name=f"PyCall_before_{op.name}", tags=self._TAGS)
         for step in plan_slice.after:
             indices = step.indices
@@ -283,14 +333,20 @@ class GraphDriver(BackendDriver):
             elif not indices:
                 indices = (0,)
             node = rewriter.insert_after_outputs(
-                op, indices, step.pycall(runner, len(indices)),
+                op, indices,
+                step.pycall(runner, len(indices),
+                            self._prov(op, "after_forward_op",
+                                       step.action.tool)),
                 name=f"PyCall_after_{op.name}", tags=self._TAGS)
             for position, index in enumerate(indices):
                 redirects.setdefault(op.outputs[index].name,
                                      node.outputs[position])
         if plan_slice.replace is not None:
             node = rewriter.replace_op(
-                op, plan_slice.replace.pycall(runner, len(op.outputs)),
+                op, plan_slice.replace.pycall(
+                    runner, len(op.outputs),
+                    self._prov(op, "replace_op",
+                               plan_slice.replace.action.tool)),
                 name=f"PyCall_replace_{op.name}", tags=self._TAGS)
             for index, tensor in enumerate(op.outputs):
                 redirects.setdefault(tensor.name, node.outputs[index])
@@ -310,7 +366,10 @@ class GraphDriver(BackendDriver):
             if not positions:
                 continue
             rewriter.insert_before_inputs(
-                bop, positions, step.pycall(runner, len(positions)),
+                bop, positions,
+                step.pycall(runner, len(positions),
+                            self._prov(bop, "before_backward_op",
+                                       step.action.tool)),
                 name=f"PyCall_before_{bop.name}", tags=self._TAGS)
         for step in plan_slice.after:
             indices = step.indices
@@ -320,14 +379,20 @@ class GraphDriver(BackendDriver):
             if not indices:
                 continue
             node = rewriter.insert_after_outputs(
-                bop, indices, step.pycall(runner, len(indices)),
+                bop, indices,
+                step.pycall(runner, len(indices),
+                            self._prov(bop, "after_backward_op",
+                                       step.action.tool)),
                 name=f"PyCall_after_{bop.name}", tags=self._TAGS)
             for position, index in enumerate(indices):
                 redirects.setdefault(bop.outputs[index].name,
                                      node.outputs[position])
         if plan_slice.replace is not None:
             node = rewriter.replace_op(
-                bop, plan_slice.replace.pycall(runner, len(bop.outputs)),
+                bop, plan_slice.replace.pycall(
+                    runner, len(bop.outputs),
+                    self._prov(bop, "replace_backward_op",
+                               plan_slice.replace.action.tool)),
                 name=f"PyCall_replace_{bop.name}", tags=self._TAGS)
             for index, tensor in enumerate(bop.outputs):
                 redirects.setdefault(tensor.name, node.outputs[index])

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.actions import IPoint
 from ..core.context import OpContext
+from ..core.faults import InstrumentationError, Provenance
 from ..core.interceptor import Interceptor
 from ..core.manager import CachedOpRecord, register_driver_factory
 from ..core.plans import NDARRAY_ADAPTER, PlanKind, run_steps
@@ -42,6 +43,8 @@ class OnnxDriver(BackendDriver):
         self._interceptor = Interceptor()
         #: node identity -> stable op id
         self._node_ids: dict[int, int] = {}
+        #: nodes continued vanilla after a contained tool failure (health)
+        self.recovered = 0
 
     def attach(self) -> None:
         self._interceptor.patch(InferenceSession, "node_interceptor",
@@ -51,6 +54,14 @@ class OnnxDriver(BackendDriver):
         self._interceptor.restore_all()
         self._node_ids.clear()
 
+    def health(self) -> dict:
+        return {"recovered": self.recovered}
+
+    def _prov(self, op_id: int, node: Node, i_point: str,
+              tool: str | None = None) -> Provenance:
+        return Provenance(tool=tool, op_id=op_id, op_type=node.op_type,
+                          i_point=i_point, backend=self.namespace)
+
     # -- node interception ---------------------------------------------------
     def _intercept_node(self, session: InferenceSession, node: Node,
                         inputs: list[np.ndarray], run_node):
@@ -59,11 +70,35 @@ class OnnxDriver(BackendDriver):
             return run_node(node, inputs)
 
         span = mgr.begin_span()
+        known = id(node) in self._node_ids
         op_id = self._node_ids.get(id(node))
         if op_id is None:
             op_id = mgr.ids.assign(f"onnx/{node.name or node.op_type}")
             self._node_ids[id(node)] = op_id
+        try:
+            return self._run_instrumented(session, node, inputs, run_node,
+                                          op_id, span)
+        except InstrumentationError:
+            # recovery point, mirroring the eager driver: restore the
+            # invariants, then propagate or run the vanilla node with the
+            # original inputs
+            if mgr.error_policy == "raise":
+                if not known and op_id not in mgr.action_cache:
+                    # aborted trace: forget the id assignment so a retried
+                    # run derives the same one (no occurrence drift)
+                    del self._node_ids[id(node)]
+                    mgr.ids.retract(f"onnx/{node.name or node.op_type}")
+                raise
+            self.recovered += 1
+            mgr.end_span(span)
+            return run_node(node, inputs)
+        finally:
+            mgr.end_span(span)
 
+    def _run_instrumented(self, session: InferenceSession, node: Node,
+                          inputs: list[np.ndarray], run_node, op_id: int,
+                          span):
+        mgr = self.manager
         cached = mgr.cache_lookup(op_id)
         if cached is None:
             # trace path: first execution of this node under this toolset
@@ -88,14 +123,18 @@ class OnnxDriver(BackendDriver):
         values = list(inputs)
         if forward.before:
             if run_steps(forward.before, values, NDARRAY_ADAPTER,
-                         mgr.run_instrumentation, clamp=True):
+                         mgr.run_instrumentation, clamp=True,
+                         provenance=self._prov(op_id, node,
+                                               "before_forward_op")):
                 plan.mutations += 1
         mgr.end_span(span)
 
         if forward.replace is not None:
             # replacement routines consume the node's full input list
-            result = forward.replace.invoke(mgr.run_instrumentation,
-                                            tuple(values))
+            result = forward.replace.invoke(
+                mgr.run_instrumentation, tuple(values),
+                self._prov(op_id, node, "replace_op",
+                           tool=forward.replace.action.tool))
             outputs = list(result) if isinstance(result, tuple) else [result]
             outputs = [np.asarray(o) for o in outputs]
         else:
@@ -103,9 +142,19 @@ class OnnxDriver(BackendDriver):
 
         if forward.after:
             span = mgr.begin_span()
-            run_steps(forward.after, outputs, NDARRAY_ADAPTER,
-                      mgr.run_instrumentation, clamp=True)
-            mgr.end_span(span)
+            try:
+                run_steps(forward.after, outputs, NDARRAY_ADAPTER,
+                          mgr.run_instrumentation, clamp=True,
+                          provenance=self._prov(op_id, node,
+                                                "after_forward_op"))
+            except InstrumentationError:
+                # the node already produced outputs: keep them under the
+                # non-raise policies instead of re-executing vanilla
+                if mgr.error_policy == "raise":
+                    raise
+                self.recovered += 1
+            finally:
+                mgr.end_span(span)
         return outputs
 
     def _build_context(self, session: InferenceSession, node: Node,

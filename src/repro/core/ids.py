@@ -51,6 +51,19 @@ class OpIdAssigner:
             self._ids[key] = op_id
         return op_id
 
+    def retract(self, name: str) -> None:
+        """Undo the most recent :meth:`assign` for ``name``.
+
+        Used on instrumentation error paths: when an op's trace aborts
+        before a cache entry is stored, the occurrence counter must look
+        like the op never executed, so a retried iteration re-derives the
+        same id instead of drifting.  The ``(name, occurrence) -> id``
+        mapping itself stays (ids are stable by construction).
+        """
+        count = self._occurrences.get(name, 0)
+        if count > 0:
+            self._occurrences[name] = count - 1
+
     def peek(self, name: str, occurrence: int) -> int | None:
         return self._ids.get((name, occurrence))
 

@@ -26,13 +26,35 @@ from ..eager import alloc
 from ..eager.dispatch import enable_grad, no_grad
 from .actions import Action, IPoint
 from .context import OpContext
+from .faults import ERROR_POLICIES, InstrumentationError, Provenance
 from .ids import OpIdAssigner
 from .plans import ExecutionPlan, PlanKind, compile_plan
 from .tool import Tool
 
 __all__ = ["InstrumentationManager", "manager", "apply", "disabled", "enabled",
            "cache_disabled", "cache_enabled", "allow_instrumented_ad",
-           "new_iteration", "register_driver_factory"]
+           "new_iteration", "register_driver_factory", "error_policy",
+           "InstrumentationError", "Provenance"]
+
+
+class Span:
+    """An open framework-time span (Fig. 11 accounting).
+
+    Created by :meth:`InstrumentationManager.begin_span`; closing is
+    idempotent so drivers can close eagerly on the happy path *and*
+    unconditionally in a ``finally`` block — the error path can then never
+    leak an open span (which would permanently skew the framework/tool
+    breakdown).
+    """
+
+    __slots__ = ("start", "tool_before", "framework_before", "closed")
+
+    def __init__(self, start: float, tool_before: float,
+                 framework_before: float) -> None:
+        self.start = start
+        self.tool_before = tool_before
+        self.framework_before = framework_before
+        self.closed = False
 
 
 class CachedOpRecord:
@@ -89,6 +111,21 @@ class InstrumentationManager:
         # plan-layer observability (plan_stats)
         self._plans_compiled = 0
         self._plans_recompiled = 0
+        # fault-isolation layer (health)
+        #: what happens when a tool routine raises: "raise" | "quarantine"
+        #: | "record" (see repro.core.faults)
+        self.error_policy = "raise"
+        #: names of tools disabled after a failure under "quarantine"
+        self.quarantined: set[str] = set()
+        #: most recent failures (full provenance), capped
+        self.errors: list[InstrumentationError] = []
+        self._error_total = 0
+        self._errors_by_tool: dict[str, int] = {}
+        self._errors_by_i_point: dict[str, int] = {}
+        self._errors_by_op: dict[str, int] = {}
+
+    #: how many recent failures ``errors`` retains (counters stay complete)
+    MAX_RECORDED_ERRORS = 100
 
     # -- tool management ------------------------------------------------------
     @staticmethod
@@ -148,6 +185,9 @@ class InstrumentationManager:
             self._drivers = []
             for tool in removed:
                 tool.on_remove()
+            # quarantine is scoped to the apply scope that observed the
+            # failure; the error log survives for post-mortem (reset_health)
+            self.quarantined.clear()
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -168,63 +208,194 @@ class InstrumentationManager:
         """Trigger the analysis routines registered at ``i_point``.
 
         Tools run in dependency order; each may transform the context for the
-        tools after it (context transformation, Fig. 6).
+        tools after it (context transformation, Fig. 6).  A raising routine
+        is handled per :attr:`error_policy`: ``"raise"`` propagates a
+        provenance-carrying :class:`InstrumentationError` (after the context
+        write-state is restored), ``"quarantine"`` disables the tool and
+        drops the actions it recorded into this context, ``"record"`` counts
+        the failure and moves on to the next routine.
         """
         backward = i_point in (IPoint.BEFORE_BACKWARD, IPoint.AFTER_BACKWARD)
         require_outputs = i_point in (IPoint.AFTER_FORWARD, IPoint.AFTER_BACKWARD)
         start = time.perf_counter()
         tool_before = self.timers["tool"]
-        for tool in self.tools:
-            registrations = tool.registrations_at(backward, require_outputs)
-            if not registrations:
-                continue
-            context._current_tool = tool.name
-            context._transform_write = tool.is_context_transform
-            for registration in registrations:
-                t0 = time.perf_counter()
-                registration.callback(context)
-                self.timers["tool"] += time.perf_counter() - t0
-        context._current_tool = None
-        context._transform_write = True
-        total = time.perf_counter() - start
-        # framework share = dispatch minus the callback time already accrued
-        # to timers["tool"] inside this call (Fig. 11 breakdown)
-        tool_this_call = self.timers["tool"] - tool_before
-        self.timers["framework"] += max(0.0, total - tool_this_call)
+        try:
+            for tool in self.tools:
+                if tool.name in self.quarantined:
+                    continue
+                registrations = tool.registrations_at(backward, require_outputs)
+                if not registrations:
+                    continue
+                context._current_tool = tool.name
+                context._transform_write = tool.is_context_transform
+                for registration in registrations:
+                    t0 = time.perf_counter()
+                    try:
+                        registration.callback(context)
+                    except Exception as exc:
+                        self.timers["tool"] += time.perf_counter() - t0
+                        error = InstrumentationError(
+                            exc, self._context_provenance(tool.name, context,
+                                                          i_point),
+                            phase="analysis")
+                        self.record_failure(error)
+                        if self.error_policy == "raise":
+                            raise error from exc
+                        if self.error_policy == "quarantine":
+                            self.quarantine(tool.name)
+                            context.actions = [a for a in context.actions
+                                               if a.tool != tool.name]
+                            break  # skip the tool's remaining registrations
+                    else:
+                        self.timers["tool"] += time.perf_counter() - t0
+        finally:
+            context._current_tool = None
+            context._transform_write = True
+            total = time.perf_counter() - start
+            # framework share = dispatch minus the callback time already
+            # accrued to timers["tool"] inside this call (Fig. 11 breakdown)
+            tool_this_call = self.timers["tool"] - tool_before
+            self.timers["framework"] += max(0.0, total - tool_this_call)
+
+    @staticmethod
+    def _context_provenance(tool: str | None, context: OpContext,
+                            i_point: IPoint) -> Provenance:
+        return Provenance(
+            tool=tool,
+            op_id=(context.get_op_id() if context.is_forward()
+                   else context.get_backward_op_id()),
+            op_type=context.get("_raw_type", context.get("type")),
+            i_point=i_point.value,
+            backend=context.namespace)
 
     # -- instrumentation-routine evaluation --------------------------------------
-    def run_instrumentation(self, func: Callable, args: tuple, kwargs: dict):
-        """Evaluate one instrumentation routine with AD/memory isolation."""
+    def run_instrumentation(self, func: Callable, args: tuple, kwargs: dict,
+                            provenance: Provenance | None = None):
+        """Evaluate one instrumentation routine with AD/memory isolation.
+
+        A raising routine is recorded in :meth:`health` (and its tool
+        quarantined under the ``"quarantine"`` policy), then an
+        :class:`InstrumentationError` carrying ``provenance`` propagates —
+        always, regardless of policy: recovery (substituting the vanilla
+        computation) needs backend knowledge, so it lives at the drivers'
+        recovery points, which consult :attr:`error_policy`.
+        """
         t0 = time.perf_counter()
         guard = enable_grad() if self.instrumented_ad else no_grad()
-        with guard, alloc.scope("tool"):
-            result = func(*args, **kwargs)
-        self.timers["tool"] += time.perf_counter() - t0
+        try:
+            with guard, alloc.scope("tool"):
+                result = func(*args, **kwargs)
+        except InstrumentationError:
+            raise  # already wrapped/recorded by a nested evaluation
+        except Exception as exc:
+            error = InstrumentationError(exc, provenance,
+                                         phase="instrumentation")
+            self.record_failure(error)
+            if self.error_policy == "quarantine" and error.tool:
+                self.quarantine(error.tool)
+            raise error from exc
+        finally:
+            self.timers["tool"] += time.perf_counter() - t0
         return result
 
     def record_framework_time(self, seconds: float) -> None:
         self.timers["framework"] += seconds
 
-    def begin_span(self) -> tuple[float, float, float]:
+    def begin_span(self) -> Span:
         """Open a framework-time span (Fig. 11 accounting).
 
         Pairs with :meth:`end_span`, which attributes the wall time of the
         span *minus* any tool/framework time accrued inside it — so nested
         ``run_analysis``/``run_instrumentation`` calls are never counted
-        twice and ``framework + tool <= wall`` holds structurally.
+        twice and ``framework + tool <= wall`` holds structurally.  Closing
+        is idempotent (see :class:`Span`): drivers close eagerly before
+        handing off to kernel execution and again in a ``finally`` block, so
+        error paths cannot leak an open span.
         """
-        return (time.perf_counter(), self.timers["tool"],
-                self.timers["framework"])
+        return Span(time.perf_counter(), self.timers["tool"],
+                    self.timers["framework"])
 
-    def end_span(self, span: tuple[float, float, float]) -> None:
-        start, tool_before, framework_before = span
-        elapsed = time.perf_counter() - start
-        inner = (self.timers["tool"] - tool_before
-                 + self.timers["framework"] - framework_before)
+    def end_span(self, span: Span) -> None:
+        if span.closed:
+            return
+        span.closed = True
+        elapsed = time.perf_counter() - span.start
+        inner = (self.timers["tool"] - span.tool_before
+                 + self.timers["framework"] - span.framework_before)
         self.timers["framework"] += max(0.0, elapsed - inner)
 
     def reset_timers(self) -> None:
         self.timers = {"framework": 0.0, "tool": 0.0}
+
+    # -- fault isolation -----------------------------------------------------------
+    def set_error_policy(self, policy: str) -> None:
+        if policy not in ERROR_POLICIES:
+            raise ValueError(f"unknown error policy {policy!r} "
+                             f"(choose from {', '.join(ERROR_POLICIES)})")
+        self.error_policy = policy
+
+    def record_failure(self, error: InstrumentationError) -> None:
+        """Count a routine failure (full provenance) for :meth:`health`."""
+        self._error_total += 1
+        p = error.provenance
+        for counts, key in ((self._errors_by_tool, p.tool or "<unknown>"),
+                            (self._errors_by_i_point, p.i_point or "<unknown>"),
+                            (self._errors_by_op,
+                             f"{p.op_type or '?'}:{p.op_id}")):
+            counts[key] = counts.get(key, 0) + 1
+        self.errors.append(error)
+        if len(self.errors) > self.MAX_RECORDED_ERRORS:
+            del self.errors[0]
+
+    def quarantine(self, tool_name: str) -> None:
+        """Disable ``tool_name``'s routines and recorded actions.
+
+        Reuses the epoch invalidation mechanism: bumping ``tool_epoch``
+        (without clearing caches or ids) forces every compiled plan — and
+        every graph-mode instrumented graph — to recompile, and plan
+        compilation excludes quarantined tools' actions, so subsequent
+        execution is vanilla with respect to the tool.
+        """
+        if tool_name in self.quarantined:
+            return
+        self.quarantined.add(tool_name)
+        self.tool_epoch += 1
+
+    def clear_quarantine(self) -> None:
+        """Re-enable all quarantined tools (plans recompile via the epoch)."""
+        if self.quarantined:
+            self.quarantined.clear()
+            self.tool_epoch += 1
+
+    def health(self) -> dict:
+        """Fault-isolation observability (pairs with :meth:`plan_stats`).
+
+        Error counters per tool / op / instrumentation point, the
+        quarantined-tool list, the most recent failures with full
+        provenance, and per-backend recovery counters under ``"backends"``.
+        """
+        report = {
+            "policy": self.error_policy,
+            "errors": self._error_total,
+            "by_tool": dict(self._errors_by_tool),
+            "by_i_point": dict(self._errors_by_i_point),
+            "by_op": dict(self._errors_by_op),
+            "quarantined": sorted(self.quarantined),
+            "recent": [error.summary() for error in self.errors],
+            "backends": {},
+        }
+        for driver in self._drivers:
+            backend_health = getattr(driver, "health", None)
+            if backend_health is not None:
+                report["backends"][driver.namespace] = backend_health()
+        return report
+
+    def reset_health(self) -> None:
+        self.errors = []
+        self._error_total = 0
+        self._errors_by_tool = {}
+        self._errors_by_i_point = {}
+        self._errors_by_op = {}
 
     # -- cache -------------------------------------------------------------------
     def cache_lookup(self, op_id: int) -> CachedOpRecord | None:
@@ -273,7 +444,8 @@ class InstrumentationManager:
             plan = compile_plan(record, epoch=self.tool_epoch,
                                 op_id=op_id if op_id is not None
                                 else (plan.op_id if plan else None),
-                                prior=plan)
+                                prior=plan,
+                                exclude_tools=self.quarantined)
             record.plan = plan
             if plan.recompiles:
                 self._plans_recompiled += 1
@@ -381,6 +553,23 @@ def allow_instrumented_ad():
         yield
     finally:
         manager.instrumented_ad = previous
+
+
+@contextmanager
+def error_policy(policy: str):
+    """Select what happens when a tool routine raises inside the block.
+
+    ``"raise"`` (default) propagates a provenance-carrying
+    :class:`InstrumentationError` after the drivers have cleanly unwound;
+    ``"quarantine"`` disables the failing tool and continues vanilla;
+    ``"record"`` counts the failure in ``manager.health()`` and continues.
+    """
+    previous = manager.error_policy
+    manager.set_error_policy(policy)
+    try:
+        yield
+    finally:
+        manager.error_policy = previous
 
 
 def new_iteration() -> None:

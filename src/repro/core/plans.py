@@ -126,7 +126,8 @@ class ActionStep:
             return tuple(i for i in self.indices if i < arity)
         return self.indices
 
-    def pycall(self, runner: Callable, passthrough_count: int) -> Callable:
+    def pycall(self, runner: Callable, passthrough_count: int,
+               provenance=None) -> Callable:
         """Bind the step into a graph-mode ``PyCall`` body.
 
         Observation routines (returning ``None``) pass their inputs through
@@ -135,7 +136,7 @@ class ActionStep:
         func, kwargs = self.func, self.kwargs
 
         def run(*arrays):
-            result = runner(func, arrays, kwargs)
+            result = runner(func, arrays, kwargs, provenance)
             if result is None:
                 return arrays if passthrough_count > 1 else arrays[0]
             return result
@@ -168,15 +169,34 @@ class ReplaceStep:
             return list(values)
         return [values[i] for i in self.indices]
 
-    def invoke(self, runner: Callable, arrays: tuple):
-        return runner(self.func, arrays, self.kwargs)
+    def invoke(self, runner: Callable, arrays: tuple, provenance=None):
+        return runner(self.func, arrays, self.kwargs, provenance)
 
-    def pycall(self, runner: Callable, num_outputs: int) -> Callable:
+    def pycall(self, runner: Callable, num_outputs: int,
+               provenance=None) -> Callable:
         func, kwargs = self.func, self.kwargs
 
         def run(*arrays):
-            return runner(func, arrays, kwargs)
+            return runner(func, arrays, kwargs, provenance)
 
+        return run
+
+    def guarded_override(self, runner: Callable, provenance=None) -> Callable:
+        """A ``forward_override`` routed through ``run_instrumentation``.
+
+        Unlike the raw :attr:`forward_override` closure, failures surface as
+        :class:`~repro.core.faults.InstrumentationError` with provenance and
+        the routine runs under AD/memory isolation, matching how replace
+        routines already execute in graph mode.  Call-time semantics match
+        ``forward_override``: recorded kwargs win over op attrs when present.
+        """
+        func, kwargs = self.func, self.kwargs
+        if kwargs:
+            def run(*arrays, **attrs):
+                return runner(func, arrays, kwargs, provenance)
+        else:
+            def run(*arrays, **attrs):
+                return runner(func, arrays, attrs, provenance)
         return run
 
     def __repr__(self) -> str:
@@ -272,13 +292,15 @@ def compile_backward_slice(actions: Iterable[Action],
 
 def run_steps(steps: tuple[ActionStep, ...], values: list,
               adapter: TensorAdapter, runner: Callable,
-              clamp: bool = False) -> bool:
+              clamp: bool = False, provenance=None) -> bool:
     """Evaluate insert steps over a mutable list of tensor-slot values.
 
     ``runner`` is :meth:`InstrumentationManager.run_instrumentation` (AD and
     memory isolation).  Routines returning ``None`` are observations; a
     non-``None`` return replaces the selected values through the adapter.
-    Returns whether any value was replaced.
+    ``provenance`` (if given) is re-attributed to each step's recording tool
+    so a failing routine surfaces with full provenance.  Returns whether any
+    value was replaced.
     """
     mutated = False
     for step in steps:
@@ -287,7 +309,9 @@ def run_steps(steps: tuple[ActionStep, ...], values: list,
             continue  # selector clamped to nothing: routine not applicable
             # (an explicit empty selector is a pure trigger and still runs)
         arrays = tuple(adapter.read(values, i) for i in indices)
-        result = runner(step.func, arrays, step.kwargs)
+        result = runner(step.func, arrays, step.kwargs,
+                        provenance.with_tool(step.action.tool)
+                        if provenance is not None else None)
         if result is None:
             continue
         mutated = True
@@ -368,14 +392,21 @@ def compile_actions(forward_actions: Iterable[Action],
                     backward_actions: Iterable[Action] = (),
                     *, epoch: int | None = None, op_id: int | None = None,
                     user_state: bool = False, context=None,
-                    prior: ExecutionPlan | None = None) -> ExecutionPlan:
+                    prior: ExecutionPlan | None = None,
+                    exclude_tools=()) -> ExecutionPlan:
     """Compile an execution plan from raw action lists.
 
     Actions may arrive on either list regardless of direction (backward
     records historically store their actions on ``forward_actions``); the
     compiler re-partitions by :attr:`ActionType.is_backward`.
+
+    ``exclude_tools`` drops actions recorded by the named tools — the
+    quarantine mechanism: a quarantined tool's actions survive in the cached
+    record but never reach a compiled plan, so replay is vanilla w.r.t. it.
     """
     pool = tuple(forward_actions) + tuple(backward_actions)
+    if exclude_tools:
+        pool = tuple(a for a in pool if a.tool not in exclude_tools)
     forward = compile_forward_slice(pool)
     backward = tuple(a for a in pool if a.type.is_backward)
     plan = ExecutionPlan(op_id=op_id, epoch=epoch,
@@ -391,9 +422,11 @@ def compile_actions(forward_actions: Iterable[Action],
 
 
 def compile_plan(record, *, epoch: int | None, op_id: int | None = None,
-                 prior: ExecutionPlan | None = None) -> ExecutionPlan:
+                 prior: ExecutionPlan | None = None,
+                 exclude_tools=()) -> ExecutionPlan:
     """Compile a :class:`~repro.core.manager.CachedOpRecord` into a plan."""
     return compile_actions(record.forward_actions, record.backward_actions,
                            epoch=epoch, op_id=op_id,
                            user_state=record.user_state,
-                           context=record.context, prior=prior)
+                           context=record.context, prior=prior,
+                           exclude_tools=exclude_tools)

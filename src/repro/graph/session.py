@@ -154,27 +154,31 @@ class Session:
         values: dict[str, tuple] = {}
         allocated: list[tuple[int, str]] = []
         tag_kernels = kernel_runtime.has_subscribers
-        for op in plan:
-            compute = COMPUTE.get(op.type)
-            if compute is None:
-                raise NotImplementedError(f"no compute for op type {op.type!r}")
-            inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
-            if tag_kernels:
-                kernel_runtime.push_tag(f"{op.type}|{op.name}")
-            try:
-                outputs = compute(op, inputs, runtime)
-            finally:
+        try:
+            for op in plan:
+                compute = COMPUTE.get(op.type)
+                if compute is None:
+                    raise NotImplementedError(
+                        f"no compute for op type {op.type!r}")
+                inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
                 if tag_kernels:
-                    kernel_runtime.pop_tag()
-            values[op.name] = outputs
-            input_ids = {id(v) for v in inputs}
-            nbytes = sum(np.asarray(o).nbytes for o in outputs
-                         if id(o) not in input_ids)  # skip aliased pass-throughs
-            scope = alloc.tracker.allocate(
-                nbytes, scope=op.tags.get("alloc_scope"))
-            allocated.append((nbytes, scope))
-        self.last_run_seconds = time.perf_counter() - start
-        result = [values[t.op.name][t.index] for t in fetches]
-        for nbytes, scope in allocated:
-            alloc.tracker.release(nbytes, scope)
-        return result
+                    kernel_runtime.push_tag(f"{op.type}|{op.name}")
+                try:
+                    outputs = compute(op, inputs, runtime)
+                finally:
+                    if tag_kernels:
+                        kernel_runtime.pop_tag()
+                values[op.name] = outputs
+                input_ids = {id(v) for v in inputs}
+                nbytes = sum(np.asarray(o).nbytes for o in outputs
+                             if id(o) not in input_ids)  # skip aliased pass-throughs
+                scope = alloc.tracker.allocate(
+                    nbytes, scope=op.tags.get("alloc_scope"))
+                allocated.append((nbytes, scope))
+            self.last_run_seconds = time.perf_counter() - start
+            return [values[t.op.name][t.index] for t in fetches]
+        finally:
+            # an op failure (e.g. a raising instrumentation callback inside a
+            # PyCall) must not leak the run's live-tensor accounting
+            for nbytes, scope in allocated:
+                alloc.tracker.release(nbytes, scope)

@@ -1,11 +1,12 @@
 """Amanda instrumentation tools: built-in tools and the evaluated use cases."""
 
-from . import (debugging, effective_path, export, mapping, memory, profiling,
-               pruning, quantization, subgraph, tracing)
+from . import (debugging, effective_path, export, faulty, mapping, memory,
+               profiling, pruning, quantization, subgraph, tracing)
 from .debugging import (GradientClippingTool, GradientMonitorTool,
                         NaNGuardTool)
 from .effective_path import EffectivePathTool
 from .export import OnnxExportTool, export_onnx
+from .faulty import FaultyTool, ToolFault
 from .mapping import MappingTool, standard_mapping_tool
 from .memory import MemoryProfilingTool, RematerializationPlan
 from .profiling import (FlopsProfilingTool, KernelProfilingTool,
@@ -30,5 +31,5 @@ __all__ = [
     "DynamicPTQTool", "QATTool", "EffectivePathTool", "debugging",
     "NaNGuardTool", "GradientMonitorTool", "GradientClippingTool",
     "LatencyProfilingTool", "ActivationCalibrationTool",
-    "CalibratedPTQTool",
+    "CalibratedPTQTool", "faulty", "FaultyTool", "ToolFault",
 ]

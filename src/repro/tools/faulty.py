@@ -1,0 +1,118 @@
+"""Fault-injection harness: a tool that raises on purpose.
+
+``FaultyTool`` exercises the fault-isolation layer across all three drivers
+the same way chaos tooling exercises a service mesh: it registers a normal
+analysis routine at a chosen instrumentation point and makes it (or an
+instrumentation routine it records) blow up on a chosen trigger occurrence.
+Paired with ``amanda.error_policy`` it drives the recovery matrix in
+``tests/test_fault_injection.py``:
+
+* ``mode="analysis"`` — the analysis routine itself raises, which exercises
+  the *trace* path (analysis runs once per op instance, at first execution
+  in eager/ONNX mode and at rewrite time in graph mode);
+* ``mode="instrumentation"`` — the analysis routine records an insert action
+  whose routine raises, which exercises the *replay* path (the action fires
+  on every execution, including cached ones and graph callback ops).
+
+The raised :class:`ToolFault` is deliberately a plain ``RuntimeError``
+subclass: the fault layer must handle arbitrary user exceptions, not a
+cooperative type.
+"""
+
+from __future__ import annotations
+
+from ..core.context import OpContext
+from ..core.tool import Tool
+
+__all__ = ["FaultyTool", "ToolFault"]
+
+#: (backward, require_outputs) per instrumentation point name
+_I_POINTS = {
+    "before_forward_op": (False, False),
+    "after_forward_op": (False, True),
+    "before_backward_op": (True, False),
+    "after_backward_op": (True, True),
+}
+
+
+class ToolFault(RuntimeError):
+    """The deliberate failure a :class:`FaultyTool` injects."""
+
+
+class FaultyTool(Tool):
+    """A tool that fails at a chosen i_point on a chosen occurrence.
+
+    ``occurrence`` counts matching triggers (1-based): ``occurrence=1``
+    fails the first time the routine fires, ``occurrence=3`` lets two
+    executions pass and fails the third.  With ``always=True`` every
+    trigger from ``occurrence`` on fails (the "record" policy's repeated
+    failure case).  ``op_type`` narrows faults to contexts whose ``type``
+    matches; other ops are observed but never faulted.
+    """
+
+    def __init__(self, i_point: str = "before_forward_op",
+                 occurrence: int = 1, mode: str = "analysis",
+                 op_type: str | None = None, always: bool = False,
+                 name: str | None = None) -> None:
+        super().__init__(name=name)
+        if i_point not in _I_POINTS:
+            raise ValueError(f"unknown i_point {i_point!r} "
+                             f"(choose from {', '.join(_I_POINTS)})")
+        if mode not in ("analysis", "instrumentation"):
+            raise ValueError(f"unknown mode {mode!r} "
+                             "(choose 'analysis' or 'instrumentation')")
+        self.i_point = i_point
+        self.occurrence = occurrence
+        self.mode = mode
+        self.op_type = op_type
+        self.always = always
+        #: matching triggers seen so far (analysis calls or routine firings)
+        self.triggers = 0
+        #: faults actually raised
+        self.faults = 0
+        backward, require_outputs = _I_POINTS[i_point]
+        self._backward = backward
+        self.add_inst_for_op(self._analyze, backward=backward,
+                             require_outputs=require_outputs)
+
+    def _matches(self, context: OpContext) -> bool:
+        return self.op_type is None or context.get("type") == self.op_type
+
+    def _should_fault(self) -> bool:
+        self.triggers += 1
+        if self.always:
+            return self.triggers >= self.occurrence
+        return self.triggers == self.occurrence
+
+    def _fault(self) -> None:
+        self.faults += 1
+        raise ToolFault(
+            f"injected fault #{self.faults} from {self.name} "
+            f"at {self.i_point} (trigger {self.triggers})")
+
+    # -- analysis routine ---------------------------------------------------
+    def _analyze(self, context: OpContext) -> None:
+        if not self._matches(context):
+            return
+        if self.mode == "analysis":
+            if self._should_fault():
+                self._fault()
+            return
+        # instrumentation mode: record an insert action at the matching
+        # point; the occurrence counter then ticks per routine *firing*
+        if self._backward:
+            if self.i_point == "before_backward_op":
+                context.insert_before_backward_op(self._routine)
+            else:
+                context.insert_after_backward_op(self._routine)
+        else:
+            if self.i_point == "before_forward_op":
+                context.insert_before_op(self._routine)
+            else:
+                context.insert_after_op(self._routine)
+
+    # -- instrumentation routine --------------------------------------------
+    def _routine(self, *arrays):
+        if self._should_fault():
+            self._fault()
+        return None  # observation: leave the tensors untouched

@@ -24,6 +24,7 @@ def rng() -> np.random.Generator:
 def _clean_global_state():
     alloc.tracker.reset()
     manager.reset_timers()
+    manager.reset_health()
     yield
     assert not manager.active, "test left the instrumentation manager active"
     assert not kernel_runtime.has_subscribers, \

@@ -1,0 +1,89 @@
+"""Source lint: begin_span()/end_span() exception-safety convention."""
+
+import textwrap
+
+from repro.analysis import (SourceLintIssue, lint_span_safety,
+                            lint_span_safety_source)
+from repro.analysis.source_lint import RULE_SPAN_NOT_FINALLY
+
+
+def _lint(source: str) -> list[SourceLintIssue]:
+    return lint_span_safety_source(textwrap.dedent(source), path="mod.py")
+
+
+class TestSpanSafetySource:
+    def test_flags_happy_path_only_close(self):
+        issues = _lint("""
+            def f(self, mgr):
+                span = mgr.begin_span()
+                do_work()
+                mgr.end_span(span)
+        """)
+        assert len(issues) == 1
+        issue = issues[0]
+        assert issue.rule == RULE_SPAN_NOT_FINALLY
+        assert issue.function == "f"
+        assert issue.path == "mod.py"
+        assert "finally" in str(issue)
+
+    def test_accepts_close_in_finally(self):
+        assert not _lint("""
+            def f(self, mgr):
+                span = mgr.begin_span()
+                try:
+                    do_work()
+                finally:
+                    mgr.end_span(span)
+        """)
+
+    def test_accepts_eager_close_plus_finally_safety_net(self):
+        # the driver idiom: close mid-body before kernel handoff, close
+        # again (idempotently) in the finally
+        assert not _lint("""
+            def f(self, mgr):
+                span = mgr.begin_span()
+                try:
+                    mgr.end_span(span)
+                    result = kernel()
+                finally:
+                    mgr.end_span(span)
+                return result
+        """)
+
+    def test_except_handler_close_is_not_enough(self):
+        # except-only closes miss the non-matching-exception path
+        issues = _lint("""
+            def f(self, mgr):
+                span = mgr.begin_span()
+                try:
+                    do_work()
+                except ValueError:
+                    mgr.end_span(span)
+        """)
+        assert [i.function for i in issues] == ["f"]
+
+    def test_nested_function_spans_are_attributed_separately(self):
+        issues = _lint("""
+            def outer(mgr):
+                def inner():
+                    span = mgr.begin_span()
+                    mgr.end_span(span)
+                span = mgr.begin_span()
+                try:
+                    inner()
+                finally:
+                    mgr.end_span(span)
+        """)
+        assert [i.function for i in issues] == ["inner"]
+
+    def test_function_without_spans_is_ignored(self):
+        assert not _lint("""
+            def f():
+                return 1
+        """)
+
+
+def test_backend_drivers_are_span_safe():
+    """The shipped drivers must satisfy their own convention (also enforced
+    by ``python -m repro.analysis`` in CI)."""
+    assert lint_span_safety() == []

@@ -31,7 +31,7 @@ def _action(action_type, func=_noop, indices=None, kwargs=None,
                   kwargs=kwargs or {}, backward_op=backward_op)
 
 
-def _runner(func, args, kwargs):
+def _runner(func, args, kwargs, provenance=None):
     return func(*args, **kwargs)
 
 

@@ -6,7 +6,7 @@ import pytest
 import repro.amanda as amanda
 import repro.eager as E
 import repro.graph as G
-from repro.amanda import Tool
+from repro.amanda import InstrumentationError, Tool
 from repro.eager import F
 from repro.eager.dispatch import OpDef, apply_op, registry
 from repro.graph import builder as gb
@@ -56,8 +56,10 @@ class TestEagerErrors:
         x = E.tensor(np.ones(3), requires_grad=True)
         with amanda.apply(tool):
             out = F.relu(x)
-            with pytest.raises(TypeError, match="dict"):
+            with pytest.raises(InstrumentationError, match="dict") as excinfo:
                 out.sum().backward()
+        assert isinstance(excinfo.value.original, TypeError)
+        assert excinfo.value.provenance.i_point == "replace_backward_op"
 
 
 class TestGraphErrors:
@@ -125,8 +127,10 @@ class TestToolRobustness:
 
         tool.add_inst_for_op(analysis)
         with amanda.apply(tool):
-            with pytest.raises(ValueError, match="routine bug"):
+            with pytest.raises(InstrumentationError, match="routine bug") as ei:
                 F.relu(E.tensor(np.ones(2)))
+        assert isinstance(ei.value.original, ValueError)
+        assert ei.value.tool == "t"
 
     def test_out_of_range_indices_ignored_for_grads(self, rng):
         """Backward actions with indices beyond the produced grads no-op."""

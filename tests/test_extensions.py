@@ -123,8 +123,10 @@ class TestNaNGuard:
     def test_raise_mode(self):
         guard = NaNGuardTool(raise_on_anomaly=True)
         with amanda.apply(guard):
-            with pytest.raises(NaNGuardError, match="inf"):
+            with pytest.raises(amanda.InstrumentationError, match="inf") as ei:
                 E.apply_op("log", E.tensor(np.array([0.0])))
+        assert isinstance(ei.value.original, NaNGuardError)
+        assert ei.value.provenance.op_type == "log"
 
     def test_reports_first_offender_not_downstream(self, rng):
         """The op that *created* the NaN is reported first, even though every
