@@ -2,11 +2,22 @@
 
 Replays the session's scheduling model symbolically: ops execute in the same
 depth-first topological order ``Session._plan`` would produce for the given
-fetches, every op's outputs are allocated when it runs, and they are freed
-right after their last consumer runs (fetched tensors live until the end).
-Tensor sizes come from the schema shape inference
-(:mod:`repro.analysis.verify`), so the whole estimate needs no kernel
-execution — checkmate-style static dataflow analysis over the DNN graph.
+fetches (both share :func:`repro.graph.core.topo_plan`), every op's outputs
+are allocated when it runs, and they are freed right after their last
+consumer runs (fetched tensors live until the end).  Tensor sizes come from
+the schema shape inference (:mod:`repro.analysis.verify`), so the whole
+estimate needs no kernel execution — checkmate-style static dataflow analysis
+over the DNN graph.
+
+Two schedule modes mirror the session's two executors:
+
+* ``schedule_mode="serial"`` (default) frees each intermediate right after
+  its last consuming *op* — the classic estimate;
+* ``schedule_mode="wavefront"`` partitions the plan with
+  :func:`repro.graph.core.plan_levels` and frees each intermediate after its
+  last consuming *level*, which is exactly what the parallel executor does at
+  its level barriers — so the wavefront estimate is a sound upper bound on
+  the parallel runtime's activation peak.
 
 The result is directly comparable to the *dynamic* activation-liveness peak
 measured by :class:`repro.tools.memory.MemoryProfilingTool` (same
@@ -19,7 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from ..graph.core import SKIP_TYPES, Graph, GraphTensor, Operation
+from ..graph.core import (SKIP_TYPES, Graph, GraphTensor, Operation,
+                          plan_levels, topo_plan)
 from .schemas import numel
 from .verify import GraphVerifier
 
@@ -60,7 +72,7 @@ class LivenessReport:
 def _schedule(graph: Graph, fetches) -> list[Operation]:
     """Depth-first topo order over fetch ancestors — Session._plan's order."""
     if fetches is None:
-        roots = [op for op in graph.operations]
+        roots = list(graph.operations)
     else:
         roots = []
         for fetch in fetches:
@@ -71,25 +83,7 @@ def _schedule(graph: Graph, fetches) -> list[Operation]:
             else:
                 roots.append(graph.get_operation(
                     str(fetch).partition(":")[0]))
-    plan: list[Operation] = []
-    visited: set[str] = set()
-    stack: list[tuple[Operation, bool]] = [(op, False) for op in roots]
-    while stack:
-        op, expanded = stack.pop()
-        if expanded:
-            plan.append(op)
-            continue
-        if op.name in visited:
-            continue
-        visited.add(op.name)
-        stack.append((op, True))
-        for edge in op.inputs:
-            if edge.op.name not in visited:
-                stack.append((edge.op, False))
-        for dep in op.control_inputs:
-            if dep.name not in visited:
-                stack.append((dep, False))
-    return plan
+    return topo_plan(roots)
 
 
 def estimate_liveness(graph: Graph, fetches=None,
@@ -97,14 +91,23 @@ def estimate_liveness(graph: Graph, fetches=None,
                       include_types: Iterable[str] | None = None,
                       exclude_types: Iterable[str] = ("Variable", "Const",
                                                       "Placeholder"),
-                      dtype_bytes: int = _DTYPE_BYTES) -> LivenessReport:
+                      dtype_bytes: int = _DTYPE_BYTES,
+                      schedule_mode: str = "serial") -> LivenessReport:
     """Estimate the activation-liveness memory peak without executing.
 
     ``exclude_types`` removes parameter/input storage from the accounting so
     the number matches the *activation* peak the dynamic profiler reports;
     pass ``exclude_types=()`` to count everything.  Ops with uninferrable
     shapes contribute 0 bytes and are listed in ``unknown_ops``.
+
+    ``schedule_mode="wavefront"`` models the parallel executor instead: frees
+    happen at level barriers (after an intermediate's last consuming *level*),
+    so the reported peak upper-bounds what ``Session`` can reach with any
+    worker count.
     """
+    if schedule_mode not in ("serial", "wavefront"):
+        raise ValueError(f"unknown schedule_mode {schedule_mode!r}; "
+                         "expected 'serial' or 'wavefront'")
     verifier = GraphVerifier(graph, feed_shapes=feed_shapes)
     verifier.run()
     shapes = verifier.report.shapes
@@ -140,6 +143,10 @@ def estimate_liveness(graph: Graph, fetches=None,
          else fetch.name if isinstance(fetch, Operation)
          else str(fetch).partition(":")[0])
         for fetch in fetches}
+    if schedule_mode == "wavefront":
+        _sweep_wavefront(report, plan, position, fetched)
+        return report
+
     last: dict[str, int] = {}
     for op in plan:
         last[op.name] = len(plan) - 1 if op.name in fetched \
@@ -166,3 +173,42 @@ def estimate_liveness(graph: Graph, fetches=None,
         for name in frees.get(step, ()):
             live -= report.output_bytes[name]
     return report
+
+
+def _sweep_wavefront(report: LivenessReport, plan: list[Operation],
+                     position: dict[str, int], fetched: set[str]) -> None:
+    """Level-barrier sweep: frees happen after the last consuming *level*.
+
+    Matches ``Session._run_wavefront`` exactly — within a level the ops
+    allocate one by one in plan order (the session's bookkeeping loop), then
+    the level's expired intermediates are freed at the barrier.
+    """
+    levels = plan_levels(plan)
+    level_of = {op.name: i for i, level in enumerate(levels) for op in level}
+    last_level: dict[str, int] = {}
+    for op in plan:
+        last_level[op.name] = len(levels) - 1 if op.name in fetched \
+            else level_of[op.name]
+    for op in plan:
+        for edge in op.inputs:
+            if edge.op.name in last_level:
+                last_level[edge.op.name] = max(last_level[edge.op.name],
+                                               level_of[op.name])
+    # lifetimes in plan positions: freed after the last op of the free level
+    level_end = [position[level[-1].name] for level in levels]
+    for op in plan:
+        report.lifetime[op.name] = (position[op.name],
+                                    level_end[last_level[op.name]])
+    frees: dict[int, list[str]] = {}
+    for name, end_level in last_level.items():
+        frees.setdefault(end_level, []).append(name)
+    live = 0
+    for index, level in enumerate(levels):
+        for op in level:
+            live += report.output_bytes[op.name]
+            if live > report.peak_bytes:
+                report.peak_bytes = live
+                report.peak_step = position[op.name]
+                report.peak_op = op.name
+        for name in frees.get(index, ()):
+            live -= report.output_bytes[name]

@@ -207,7 +207,12 @@ class GraphDriver(BackendDriver):
                                    exclude_tools=mgr.quarantined)
             plans.append(plan)
             plan_by_context[id(context)] = plan
-            self._realize_forward(rewriter, op, plan.forward, redirects)
+            # observe-only plans (forward inserts, no replace/backward/state)
+            # are order-independent, so their PyCall nodes are tagged
+            # parallel_safe and the session may still run them wavefronted
+            self._realize_forward(rewriter, op, plan.forward, redirects,
+                                  observe_only=plan.kind is
+                                  PlanKind.OBSERVE_ONLY)
         for bop, bcontext, fcontext in backward_analyzed:
             forward_plan = plan_by_context[id(fcontext)]
             backward_plan = compile_actions(bcontext.actions,
@@ -301,6 +306,8 @@ class GraphDriver(BackendDriver):
     # come from repro.core.plans — only the edit geometry lives here.
 
     _TAGS = {"alloc_scope": "tool"}
+    #: observe-only callbacks may run from wavefront worker threads
+    _SAFE_TAGS = {"alloc_scope": "tool", "parallel_safe": True}
 
     def _prov(self, op: Operation, i_point: str,
               tool: str | None = None) -> Provenance:
@@ -309,8 +316,10 @@ class GraphDriver(BackendDriver):
 
     def _realize_forward(self, rewriter: GraphRewriter, op: Operation,
                          plan_slice: PlanSlice,
-                         redirects: dict[str, Operation]) -> None:
+                         redirects: dict[str, Operation],
+                         observe_only: bool = False) -> None:
         runner = self.manager.run_instrumentation
+        tags = self._SAFE_TAGS if observe_only else self._TAGS
         for step in plan_slice.before:
             indices = step.indices
             if indices is None:
@@ -325,7 +334,7 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(indices),
                             self._prov(op, "before_forward_op",
                                        step.action.tool)),
-                name=f"PyCall_before_{op.name}", tags=self._TAGS)
+                name=f"PyCall_before_{op.name}", tags=tags)
         for step in plan_slice.after:
             indices = step.indices
             if indices is None:
@@ -337,7 +346,7 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(indices),
                             self._prov(op, "after_forward_op",
                                        step.action.tool)),
-                name=f"PyCall_after_{op.name}", tags=self._TAGS)
+                name=f"PyCall_after_{op.name}", tags=tags)
             for position, index in enumerate(indices):
                 redirects.setdefault(op.outputs[index].name,
                                      node.outputs[position])
@@ -347,7 +356,7 @@ class GraphDriver(BackendDriver):
                     runner, len(op.outputs),
                     self._prov(op, "replace_op",
                                plan_slice.replace.action.tool)),
-                name=f"PyCall_replace_{op.name}", tags=self._TAGS)
+                name=f"PyCall_replace_{op.name}", tags=tags)
             for index, tensor in enumerate(op.outputs):
                 redirects.setdefault(tensor.name, node.outputs[index])
 

@@ -1,0 +1,72 @@
+"""Runtime configuration knobs (``amanda.config``).
+
+The knobs here tune *how* the framework executes without changing *what* it
+computes.  Each knob reads its default from an ``AMANDA_*`` environment
+variable at import time so deployments can flip behavior without touching
+code, and exposes a scoped context manager for tests and per-run overrides.
+
+Current knobs:
+
+* ``num_workers`` (env ``AMANDA_NUM_WORKERS``, default ``1`` = serial) — how
+  many threads the graph-backend :class:`~repro.graph.session.Session` may
+  use for wavefront-parallel plan execution.  ``"auto"`` resolves to the
+  host's CPU count.  Values ``<= 1`` keep the classic serial executor.  The
+  executor falls back to serial regardless of this knob whenever the plan is
+  not provably parallel-safe (see DESIGN.md, "Parallel execution").
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["Config", "config", "num_workers"]
+
+
+def _parse_workers(value: str | int | None, default: int = 1) -> int:
+    """Parse a worker-count setting; invalid or missing values mean serial."""
+    if value is None:
+        return default
+    if isinstance(value, str):
+        value = value.strip().lower()
+        if not value:
+            return default
+        if value == "auto":
+            return max(1, os.cpu_count() or 1)
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        return default
+    return max(1, workers)
+
+
+class Config:
+    """Process-global runtime knobs, env-seeded and scope-overridable."""
+
+    def __init__(self) -> None:
+        self.refresh_from_env()
+
+    def refresh_from_env(self) -> None:
+        """Re-read every knob from its environment variable."""
+        self.num_workers = _parse_workers(os.environ.get("AMANDA_NUM_WORKERS"))
+
+    def set_num_workers(self, workers: int | str) -> None:
+        self.num_workers = _parse_workers(workers)
+
+    def __repr__(self) -> str:
+        return f"Config(num_workers={self.num_workers})"
+
+
+#: process-global configuration instance (``amanda.config``)
+config = Config()
+
+
+@contextmanager
+def num_workers(workers: int | str):
+    """Scope-override the executor worker count (``amanda.num_workers(4)``)."""
+    previous = config.num_workers
+    config.set_num_workers(workers)
+    try:
+        yield config
+    finally:
+        config.num_workers = previous

@@ -25,7 +25,7 @@ import numpy as np
 
 __all__ = ["Graph", "GraphTensor", "Operation", "VariableStore",
            "default_graph", "get_default_graph", "GraphFinalizedError",
-           "SKIP_TYPES"]
+           "SKIP_TYPES", "topo_plan", "plan_levels"]
 
 #: op types the instrumentation machinery never analyzes or re-instruments:
 #: ``PyCall`` nodes are themselves instrumentation artifacts and ``NoOp``
@@ -35,6 +35,61 @@ SKIP_TYPES = frozenset({"PyCall", "NoOp"})
 
 class GraphFinalizedError(RuntimeError):
     """Raised when user code mutates a graph already submitted to a session."""
+
+
+def topo_plan(roots: Iterable["Operation"]) -> list["Operation"]:
+    """Depth-first topological order over the dependency closure of ``roots``.
+
+    Follows data *and* control dependencies.  This is the single scheduling
+    model of the graph backend: :meth:`Session._plan` executes it, and the
+    static liveness estimator (:mod:`repro.analysis.liveness`) replays it
+    symbolically — keeping the two in lockstep by construction.  (Creation
+    order is not sufficient: the rewriter may append a node that earlier ops
+    were rewired to consume.)
+    """
+    plan: list[Operation] = []
+    visited: set[str] = set()
+    stack: list[tuple[Operation, bool]] = [(op, False) for op in roots]
+    while stack:
+        op, expanded = stack.pop()
+        if expanded:
+            plan.append(op)
+            continue
+        if op.name in visited:
+            continue
+        visited.add(op.name)
+        stack.append((op, True))
+        for edge in op.inputs:
+            if edge.op.name not in visited:
+                stack.append((edge.op, False))
+        for dep in op.control_inputs:
+            if dep.name not in visited:
+                stack.append((dep, False))
+    return plan
+
+
+def plan_levels(plan: list["Operation"]) -> list[list["Operation"]]:
+    """Partition a topological plan into dependency *wavefronts*.
+
+    Level ``L`` holds every op whose longest dependency chain within the plan
+    has length ``L``; all ops in one level are mutually independent (no data
+    or control path connects them), so a parallel executor may run each level
+    concurrently with a barrier between levels.  Within a level, ops keep
+    their plan order, so the partition is deterministic.
+    """
+    level: dict[str, int] = {}
+    levels: list[list[Operation]] = []
+    for op in plan:
+        depth = 0
+        for edge in op.inputs:
+            depth = max(depth, level[edge.op.name] + 1)
+        for dep in op.control_inputs:
+            depth = max(depth, level[dep.name] + 1)
+        level[op.name] = depth
+        if depth == len(levels):
+            levels.append([])
+        levels[depth].append(op)
+    return levels
 
 
 class GraphTensor:
@@ -145,6 +200,8 @@ class Graph:
         self.version = 0
         #: instrumented copies bypass the finalize check (driver-internal)
         self._internal_mutation = False
+        #: (fingerprint, version) memo — valid while the version is unchanged
+        self._fingerprint_memo: tuple[tuple, int] | None = None
 
     # -- construction ---------------------------------------------------------
     def unique_name(self, base: str) -> str:
@@ -181,8 +238,27 @@ class Graph:
         self.finalized = True
 
     def fingerprint(self) -> tuple:
-        """Cheap structural identity used by the driver's graph-level cache."""
-        return (id(self), self.version)
+        """Structural identity used by the session/driver plan caches.
+
+        ``(id, version, structural digest)``: the digest guards against id
+        reuse after a graph is garbage-collected (a recycled ``id()`` with a
+        coincidentally equal version must not resurrect a stale cache entry).
+        Computing it walks the whole graph, an O(ops) cost ``Session.run``
+        would otherwise pay on every iteration — so the result is memoized
+        and only recomputed when ``version`` moves (user mutation before
+        finalization, or a driver rewrite of an instrumented copy).
+        """
+        memo = self._fingerprint_memo
+        if memo is not None and memo[1] == self.version:
+            return memo[0]
+        digest = hash(tuple(
+            (op.type, op.name,
+             tuple(edge.name for edge in op.inputs),
+             tuple(dep.name for dep in op.control_inputs))
+            for op in self.operations))
+        fingerprint = (id(self), self.version, digest)
+        self._fingerprint_memo = (fingerprint, self.version)
+        return fingerprint
 
     # -- queries ----------------------------------------------------------------
     def consumers(self, tensor: GraphTensor) -> list[Operation]:

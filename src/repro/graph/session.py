@@ -12,22 +12,42 @@ on:
 * the Amanda graph driver intercepts ``Session.run`` via the class-level
   ``run_interceptor`` seam to swap in an instrumented graph (graph switching,
   Sec. 5.3).
+
+Two executors share the compiled plan (see DESIGN.md, "Parallel execution"):
+
+* the **serial** executor walks the topological plan in order and keeps every
+  intermediate alive until the run ends — the reference semantics;
+* the **wavefront** executor (``amanda.config.num_workers > 1``, env
+  ``AMANDA_NUM_WORKERS``) partitions the plan into dependency levels and runs
+  each level across a thread pool (numpy/BLAS release the GIL on the hot
+  kernels), releasing every intermediate at its statically-computed last-use
+  level so the runtime memory peak tracks the static liveness estimate.
+
+The wavefront executor is conservative: a plan is only eligible when it is
+*provably* order-independent — no ``PyCall`` ops (unless the graph driver
+tagged them ``parallel_safe``, i.e. observe-only instrumentation), no
+variable-store writers, no training-mode batch norm — and no kernel
+subscriber demands in-order delivery.  Everything else silently falls back to
+the serial executor, so the knob can never change results.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 import numpy as np
 
+from ..core.config import config
 from ..eager import alloc
 from ..kernels.runtime import runtime as kernel_runtime
 from .builder import COMPUTE
-from .core import Graph, GraphTensor, Operation, VariableStore
+from .core import (Graph, GraphTensor, Operation, VariableStore, plan_levels,
+                   topo_plan)
 
-__all__ = ["Session", "SessionRunHook", "RunContext"]
+__all__ = ["Session", "SessionRunHook", "RunContext", "CompiledPlan"]
 
 
 class SessionRunHook:
@@ -57,6 +77,63 @@ class _Runtime:
         self.variables = variables
 
 
+#: op types whose compute writes the shared variable store — their relative
+#: order is semantic, so their presence forces the serial executor
+_STORE_WRITERS = frozenset({"AssignSub", "AssignAdd", "AssignVar"})
+
+
+class CompiledPlan:
+    """A cached execution plan: topo order, wavefront levels, lifetimes.
+
+    Compiled once per ``(graph fingerprint, fetches)`` and replayed by every
+    later ``run()``.  ``release_after_level[L]`` lists the ops whose outputs
+    see their last consumer in level ``L`` (fetched ops are never listed), so
+    the wavefront executor can free each intermediate at its statically
+    computed last use.  ``serial_only_reason`` names the first construct that
+    makes parallel execution unsound, or ``None`` when the plan is eligible.
+    """
+
+    __slots__ = ("ops", "levels", "position", "release_after_level",
+                 "serial_only_reason")
+
+    def __init__(self, ops: list[Operation], fetch_ops: tuple[str, ...]):
+        self.ops = ops
+        self.levels = plan_levels(ops)
+        self.position = {op.name: i for i, op in enumerate(ops)}
+        level_of = {op.name: i for i, level in enumerate(self.levels)
+                    for op in level}
+        last_level = {op.name: level_of[op.name] for op in ops}
+        for op in ops:
+            for edge in op.inputs:
+                last_level[edge.op.name] = max(last_level[edge.op.name],
+                                               level_of[op.name])
+        fetched = set(fetch_ops)
+        self.release_after_level: list[list[str]] = [[] for _ in self.levels]
+        for op in ops:
+            if op.name not in fetched:
+                self.release_after_level[last_level[op.name]].append(op.name)
+        self.serial_only_reason = self._classify(ops)
+
+    @staticmethod
+    def _classify(ops: list[Operation]) -> str | None:
+        for op in ops:
+            if op.type == "PyCall" and not op.tags.get("parallel_safe"):
+                return f"PyCall op {op.name!r} without parallel_safe tag"
+            if op.type in _STORE_WRITERS:
+                return f"variable-store writer {op.name!r} ({op.type})"
+            if op.type == "FusedBatchNorm" and op.attrs.get("training"):
+                return f"training-mode batch norm {op.name!r}"
+        return None
+
+    @property
+    def parallel_safe(self) -> bool:
+        return self.serial_only_reason is None
+
+    def __repr__(self) -> str:
+        return (f"CompiledPlan({len(self.ops)} ops, {len(self.levels)} levels, "
+                f"parallel_safe={self.parallel_safe})")
+
+
 class Session:
     """Executes a graph; holds the plan cache and registered hooks."""
 
@@ -67,9 +144,15 @@ class Session:
     def __init__(self, graph: Graph, hooks: list[SessionRunHook] | None = None):
         self.graph = graph
         self.hooks: list[SessionRunHook] = list(hooks or [])
-        self._plan_cache: dict[tuple, list[Operation]] = {}
+        self._plan_cache: dict[tuple, CompiledPlan] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_workers = 0
         self.run_count = 0
         self.last_run_seconds = 0.0
+        #: whether the most recent run used the wavefront executor
+        self.last_run_parallel = False
+        #: why the most recent run stayed serial despite ``num_workers > 1``
+        self.last_fallback_reason: str | None = None
 
     def add_hook(self, hook: SessionRunHook) -> None:
         self.hooks.append(hook)
@@ -116,69 +199,152 @@ class Session:
             feed[name] = arr
         return feed
 
-    def _plan(self, graph: Graph, fetch_ops: tuple[str, ...]) -> list[Operation]:
+    def _plan(self, graph: Graph, fetch_ops: tuple[str, ...]) -> CompiledPlan:
         key = graph.fingerprint() + (fetch_ops,)
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            return plan
-        # Depth-first topological sort over data and control dependencies.
-        # (Creation order is not sufficient: the rewriter may append a node
-        # that earlier ops were rewired to consume.)
-        plan: list[Operation] = []
-        visited: set[str] = set()
-        stack: list[tuple[Operation, bool]] = [
-            (graph.get_operation(name), False) for name in fetch_ops]
-        while stack:
-            op, expanded = stack.pop()
-            if expanded:
-                plan.append(op)
-                continue
-            if op.name in visited:
-                continue
-            visited.add(op.name)
-            stack.append((op, True))
-            for edge in op.inputs:
-                if edge.op.name not in visited:
-                    stack.append((edge.op, False))
-            for dep in op.control_inputs:
-                if dep.name not in visited:
-                    stack.append((dep, False))
-        self._plan_cache[key] = plan
-        return plan
+        compiled = self._plan_cache.get(key)
+        if compiled is not None:
+            return compiled
+        # evict plans compiled for earlier versions of this same graph: the
+        # rewriter mutates instrumented copies across tool epochs, and stale
+        # entries would otherwise accumulate without bound
+        stale = [cached for cached in self._plan_cache
+                 if cached[0] == key[0] and cached[:3] != key[:3]]
+        for cached in stale:
+            del self._plan_cache[cached]
+        plan = topo_plan([graph.get_operation(name) for name in fetch_ops])
+        compiled = CompiledPlan(plan, fetch_ops)
+        self._plan_cache[key] = compiled
+        return compiled
 
     def _run_impl(self, graph: Graph, fetches: list[GraphTensor],
                   feed: dict[str, np.ndarray]) -> list[np.ndarray]:
         start = time.perf_counter()
-        plan = self._plan(graph, tuple(t.op.name for t in fetches))
+        compiled = self._plan(graph, tuple(t.op.name for t in fetches))
         runtime = _Runtime(feed, graph.variables)
+        workers = config.num_workers
+        self.last_run_parallel = False
+        self.last_fallback_reason = None
+        if workers > 1:
+            if not compiled.parallel_safe:
+                self.last_fallback_reason = compiled.serial_only_reason
+            elif kernel_runtime.has_ordered_subscribers:
+                self.last_fallback_reason = \
+                    "kernel subscriber demands in-order delivery"
+            else:
+                self.last_run_parallel = True
+        try:
+            if self.last_run_parallel:
+                return self._run_wavefront(compiled, fetches, runtime, workers)
+            return self._run_serial(compiled, fetches, runtime)
+        finally:
+            self.last_run_seconds = time.perf_counter() - start
+
+    # -- serial executor (reference semantics) --------------------------------
+    def _run_serial(self, compiled: CompiledPlan, fetches: list[GraphTensor],
+                    runtime: _Runtime) -> list[np.ndarray]:
         values: dict[str, tuple] = {}
         allocated: list[tuple[int, str]] = []
         tag_kernels = kernel_runtime.has_subscribers
         try:
-            for op in plan:
-                compute = COMPUTE.get(op.type)
-                if compute is None:
-                    raise NotImplementedError(
-                        f"no compute for op type {op.type!r}")
-                inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
-                if tag_kernels:
-                    kernel_runtime.push_tag(f"{op.type}|{op.name}")
-                try:
-                    outputs = compute(op, inputs, runtime)
-                finally:
-                    if tag_kernels:
-                        kernel_runtime.pop_tag()
+            for op in compiled.ops:
+                outputs, nbytes, _ = self._execute_op(op, values, runtime,
+                                                      tag_kernels, defer=False)
                 values[op.name] = outputs
-                input_ids = {id(v) for v in inputs}
-                nbytes = sum(np.asarray(o).nbytes for o in outputs
-                             if id(o) not in input_ids)  # skip aliased pass-throughs
                 scope = alloc.tracker.allocate(
                     nbytes, scope=op.tags.get("alloc_scope"))
                 allocated.append((nbytes, scope))
-            self.last_run_seconds = time.perf_counter() - start
             return [values[t.op.name][t.index] for t in fetches]
         finally:
             # an op failure (e.g. a raising instrumentation callback inside a
             # PyCall) must not leak the run's live-tensor accounting
             for nbytes, scope in allocated:
                 alloc.tracker.release(nbytes, scope)
+
+    # -- wavefront executor (level-parallel, liveness-driven release) ----------
+    def _run_wavefront(self, compiled: CompiledPlan,
+                       fetches: list[GraphTensor], runtime: _Runtime,
+                       workers: int) -> list[np.ndarray]:
+        values: dict[str, tuple] = {}
+        live: dict[str, tuple[int, str]] = {}
+        tag_kernels = kernel_runtime.has_subscribers
+        # deferred kernel events, indexed by plan position: delivered post-run
+        # sorted by plan position, so profiler output is bit-identical to a
+        # serial run regardless of worker count
+        event_lists: list[list] | None = \
+            [None] * len(compiled.ops) if tag_kernels else None
+        executor = self._ensure_executor(workers)
+        try:
+            for index, level in enumerate(compiled.levels):
+                if len(level) == 1:
+                    outcomes = [self._execute_op(level[0], values, runtime,
+                                                 tag_kernels, defer=True)]
+                else:
+                    outcomes = list(executor.map(
+                        lambda op: self._execute_op(op, values, runtime,
+                                                    tag_kernels, defer=True),
+                        level))
+                # bookkeeping is sequential, on the submitting thread: value
+                # publication, allocation accounting and early release never
+                # race with the workers (which only compute)
+                for op, (outputs, nbytes, events) in zip(level, outcomes):
+                    values[op.name] = outputs
+                    scope = alloc.tracker.allocate(
+                        nbytes, scope=op.tags.get("alloc_scope"))
+                    live[op.name] = (nbytes, scope)
+                    if events is not None:
+                        event_lists[compiled.position[op.name]] = events
+                for name in compiled.release_after_level[index]:
+                    values.pop(name, None)
+                    entry = live.pop(name, None)
+                    if entry is not None:
+                        alloc.tracker.release(*entry)
+            if event_lists is not None:
+                kernel_runtime.deliver(
+                    [event for events in event_lists if events
+                     for event in events])
+            return [values[t.op.name][t.index] for t in fetches]
+        finally:
+            for nbytes, scope in live.values():
+                alloc.tracker.release(nbytes, scope)
+
+    def _execute_op(self, op: Operation, values: dict, runtime: _Runtime,
+                    tag_kernels: bool, defer: bool):
+        """Run one op; returns ``(outputs, fresh bytes, deferred events)``.
+
+        Thread-safe for parallel-eligible plans: reads of ``values`` only
+        touch entries published by earlier levels, the kernel runtime's tag
+        stack is per-thread, and with ``defer`` the op's kernel events are
+        captured instead of delivered inline.
+        """
+        compute = COMPUTE.get(op.type)
+        if compute is None:
+            raise NotImplementedError(f"no compute for op type {op.type!r}")
+        inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
+        events: list | None = None
+        if tag_kernels:
+            kernel_runtime.push_tag(f"{op.type}|{op.name}")
+            try:
+                if defer:
+                    events = []
+                    with kernel_runtime.capture(events):
+                        outputs = compute(op, inputs, runtime)
+                else:
+                    outputs = compute(op, inputs, runtime)
+            finally:
+                kernel_runtime.pop_tag()
+        else:
+            outputs = compute(op, inputs, runtime)
+        input_ids = {id(v) for v in inputs}
+        nbytes = sum(np.asarray(o).nbytes for o in outputs
+                     if id(o) not in input_ids)  # skip aliased pass-throughs
+        return outputs, nbytes, events
+
+    def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
+        """The session's (lazily created, size-keyed) worker pool."""
+        if self._executor is None or self._executor_workers != workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="amanda-wavefront")
+            self._executor_workers = workers
+        return self._executor

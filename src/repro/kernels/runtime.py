@@ -8,12 +8,29 @@ runtime (like ``cuptiSubscribe``) and receive one :class:`KernelEvent` per
 launch with timing and byte-count metadata.  Amanda's operator-level
 instrumentation points can then bracket these kernel events and aggregate them
 per operator, which is exactly the Fig. 8 experiment.
+
+The runtime is **parallel-safe**: the wavefront executor of
+:class:`~repro.graph.session.Session` launches kernels from worker threads, so
+
+* correlation-tag stacks are per-thread (a tag pushed on one worker is
+  invisible to the others — the CUPTI thread-local correlation model);
+* ``launch_count`` and the subscriber list are guarded by a lock
+  (``subscribe``/``unsubscribe`` already held it; readers now do too);
+* :meth:`capture` buffers a thread's events instead of delivering them
+  inline, so a parallel run can re-deliver all events post-run in a
+  deterministic order (sorted by plan position) via :meth:`deliver` —
+  subscriber output is then bit-identical regardless of worker count.
+
+Subscribers that need strictly in-order *inline* delivery (e.g. a debugger
+single-stepping kernels) pass ``ordered=True``; their presence makes the
+session fall back to serial execution.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -55,52 +72,108 @@ def _nbytes(value: Any) -> int:
 class KernelRuntime:
     """Dispatches named kernels and notifies subscribed profilers.
 
-    The runtime keeps a stack of *correlation tags*: the instrumentation
-    framework pushes the current operator's identity before the operator body
-    runs, so kernel events can be attributed to operators (the CUPTI
-    correlation-id mechanism).
+    The runtime keeps a stack of *correlation tags* per thread: the
+    instrumentation framework pushes the current operator's identity before
+    the operator body runs, so kernel events can be attributed to operators
+    (the CUPTI correlation-id mechanism).
     """
 
     def __init__(self) -> None:
         self._subscribers: list[Callable[[KernelEvent], None]] = []
-        self._tag_stack: list[str] = []
+        # equality-keyed like _subscribers: bound methods hash/compare by
+        # (func, self), so a re-created method object still unsubscribes
+        self._ordered: list[Callable[[KernelEvent], None]] = []
         self._lock = threading.Lock()
+        self._tls = threading.local()
         self.launch_count = 0
 
     # -- subscription (cuptiSubscribe / cuptiUnsubscribe analogs) ----------
-    def subscribe(self, callback: Callable[[KernelEvent], None]) -> None:
+    def subscribe(self, callback: Callable[[KernelEvent], None],
+                  ordered: bool = False) -> None:
+        """Register ``callback`` for kernel events.
+
+        With ``ordered=True`` the subscriber demands strictly in-order inline
+        delivery; the graph session then refuses to parallelize (events would
+        otherwise be buffered and re-sequenced post-run).
+        """
         with self._lock:
             self._subscribers.append(callback)
+            if ordered:
+                self._ordered.append(callback)
 
     def unsubscribe(self, callback: Callable[[KernelEvent], None]) -> None:
         with self._lock:
             self._subscribers.remove(callback)
+            if callback in self._ordered:
+                self._ordered.remove(callback)
 
     @property
     def has_subscribers(self) -> bool:
-        return bool(self._subscribers)
+        with self._lock:
+            return bool(self._subscribers)
 
-    # -- correlation tags ---------------------------------------------------
+    @property
+    def has_ordered_subscribers(self) -> bool:
+        with self._lock:
+            return bool(self._ordered)
+
+    # -- correlation tags (per-thread) --------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
     def push_tag(self, tag: str) -> None:
-        self._tag_stack.append(tag)
+        self._stack().append(tag)
 
     def pop_tag(self) -> None:
-        if self._tag_stack:
-            self._tag_stack.pop()
+        stack = self._stack()
+        if stack:
+            stack.pop()
 
     def current_tag(self) -> str | None:
-        return self._tag_stack[-1] if self._tag_stack else None
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- deferred delivery (parallel runs) ----------------------------------
+    @contextmanager
+    def capture(self, buffer: list[KernelEvent]):
+        """Buffer this thread's events into ``buffer`` instead of delivering.
+
+        Used by the wavefront executor: each worker captures its operator's
+        events, and the session re-delivers them post-run in plan order via
+        :meth:`deliver`, making profiler output order-deterministic.
+        """
+        previous = getattr(self._tls, "buffer", None)
+        self._tls.buffer = buffer
+        try:
+            yield buffer
+        finally:
+            self._tls.buffer = previous
+
+    def deliver(self, events: list[KernelEvent]) -> None:
+        """Deliver pre-recorded events to the current subscribers, in order."""
+        with self._lock:
+            subscribers = tuple(self._subscribers)
+        for event in events:
+            for callback in subscribers:
+                callback(event)
 
     # -- launch -------------------------------------------------------------
     def launch(self, name: str, fn: Callable[..., Any], *args: Any,
                meta: dict | None = None, **kwargs: Any) -> Any:
         """Run ``fn(*args, **kwargs)`` as the kernel ``name``.
 
-        When no profiler is subscribed this is a near-zero-overhead passthrough
-        (one attribute check), so un-instrumented execution stays fast.
+        When no profiler is subscribed this is a near-zero-overhead
+        passthrough (one locked counter bump), so un-instrumented execution
+        stays fast.
         """
-        self.launch_count += 1
-        if not self._subscribers:
+        with self._lock:
+            self.launch_count += 1
+            subscribers = tuple(self._subscribers)
+        buffer = getattr(self._tls, "buffer", None)
+        if not subscribers and buffer is None:
             return fn(*args, **kwargs)
         start = time.perf_counter()
         result = fn(*args, **kwargs)
@@ -113,7 +186,10 @@ class KernelRuntime:
             bytes_accessed=_nbytes(args) + _nbytes(result),
             meta=dict(meta or {}),
         )
-        for callback in list(self._subscribers):
+        if buffer is not None:
+            buffer.append(event)
+            return result
+        for callback in subscribers:
             callback(event)
         return result
 

@@ -1,5 +1,7 @@
 """Unit tests for the simulated kernel runtime (CUPTI analog)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -83,3 +85,118 @@ def test_event_meta_passthrough(runtime):
     runtime.launch("k", lambda: np.zeros(1), meta={"algo": "winograd"})
     runtime.unsubscribe(events.append)
     assert events[0].meta == {"algo": "winograd"}
+
+
+# -- parallel safety (wavefront executor launches from worker threads) --------
+
+def _hammer(runtime, threads, launches_per_thread):
+    def work():
+        for _ in range(launches_per_thread):
+            runtime.launch("k", lambda: np.zeros(1))
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+
+def test_launch_count_exact_under_contention(runtime):
+    _hammer(runtime, threads=8, launches_per_thread=200)
+    assert runtime.launch_count == 8 * 200
+
+
+def test_subscriber_sees_every_event_under_contention(runtime):
+    events = []
+    lock = threading.Lock()
+
+    def record(event):
+        with lock:
+            events.append(event)
+
+    runtime.subscribe(record)
+    _hammer(runtime, threads=8, launches_per_thread=100)
+    runtime.unsubscribe(record)
+    assert len(events) == 8 * 100
+
+
+def test_correlation_tags_are_per_thread(runtime):
+    events = []
+    lock = threading.Lock()
+
+    def record(event):
+        with lock:
+            events.append(event)
+
+    runtime.subscribe(record)
+    barrier = threading.Barrier(2)
+
+    def work(tag):
+        runtime.push_tag(tag)
+        barrier.wait()  # both threads hold their tag simultaneously
+        for _ in range(20):
+            runtime.launch("k", lambda: np.zeros(1))
+        runtime.pop_tag()
+
+    threads = [threading.Thread(target=work, args=(f"op|{i}",))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    runtime.unsubscribe(record)
+    by_tag = {}
+    for event in events:
+        by_tag[event.correlation_tag] = by_tag.get(event.correlation_tag, 0) + 1
+    # no cross-thread bleed: each thread's 20 launches carry its own tag
+    assert by_tag == {"op|0": 20, "op|1": 20}
+    assert runtime.current_tag() is None  # main thread's stack untouched
+
+
+def test_capture_buffers_instead_of_delivering(runtime):
+    delivered, captured = [], []
+    runtime.subscribe(delivered.append)
+    with runtime.capture(captured):
+        runtime.launch("k", lambda: np.zeros(1))
+    assert delivered == []
+    assert len(captured) == 1
+    runtime.deliver(captured)
+    runtime.unsubscribe(delivered.append)
+    assert delivered == captured
+
+
+def test_capture_restores_previous_buffer(runtime):
+    outer, inner = [], []
+    with runtime.capture(outer):
+        with runtime.capture(inner):
+            runtime.launch("a", lambda: np.zeros(1))
+        runtime.launch("b", lambda: np.zeros(1))
+    assert [e.name for e in inner] == ["a"]
+    assert [e.name for e in outer] == ["b"]
+    # outside any capture scope events flow inline again (none buffered)
+    runtime.launch("c", lambda: np.zeros(1))
+    assert len(outer) == 1 and len(inner) == 1
+
+
+def test_capture_without_subscribers_still_records(runtime):
+    captured = []
+    with runtime.capture(captured):
+        runtime.launch("k", lambda: np.zeros(1))
+    assert len(captured) == 1  # profiler may subscribe before deliver()
+
+
+def test_ordered_subscriber_tracked_and_released(runtime):
+    events = []
+    runtime.subscribe(events.append, ordered=True)
+    assert runtime.has_ordered_subscribers
+    runtime.unsubscribe(events.append)
+    assert not runtime.has_ordered_subscribers
+    assert not runtime.has_subscribers
+
+
+def test_ordered_flag_survives_bound_method_identity(runtime):
+    """list.append-style bound methods get a fresh object per access; the
+    ordered bookkeeping must still clear on unsubscribe (equality, not id)."""
+    seen = []
+    runtime.subscribe(seen.append, ordered=True)
+    runtime.unsubscribe(seen.append)  # distinct object, equal value
+    assert not runtime.has_ordered_subscribers
