@@ -19,12 +19,20 @@ runs and silently computes the wrong thing.  This package catches those bugs
   ``allow_instrumented_ad``, cache-unsafe context mutation);
 * :mod:`repro.analysis.liveness` — a static liveness / peak-activation-memory
   estimator cross-checkable against the dynamic
-  :class:`repro.tools.memory.MemoryProfilingTool`.
+  :class:`repro.tools.memory.MemoryProfilingTool`;
+* :mod:`repro.analysis.effects` — per-op effect signatures (pure /
+  reads-state / writes-state / rng / ordered-event / opaque) and the
+  plan-level race detector the wavefront executor uses to serialize only
+  the genuinely conflicting op pairs.
 
 Run ``python -m repro.analysis`` to verify and lint the graphs built by the
 ``examples/`` model zoo.
 """
 
+from .effects import (GRAPH_EFFECTS, Conflict, EffectSig, RaceReport,
+                      analyze_plan, check_effects_complete, effect_signature,
+                      missing_effect_signatures, normalize_effects,
+                      register_graph_effect)
 from .lint import LintIssue, lint_contexts
 from .liveness import LivenessReport, estimate_liveness
 from .source_lint import (SourceLintIssue, lint_span_safety,
@@ -43,6 +51,9 @@ __all__ = [
     "check_registry_complete", "validate_mask_shape", "validate_scale",
     "GraphVerifier", "VerificationReport", "VerificationError", "Issue",
     "verify_graph",
+    "EffectSig", "Conflict", "RaceReport", "GRAPH_EFFECTS",
+    "effect_signature", "normalize_effects", "register_graph_effect",
+    "analyze_plan", "missing_effect_signatures", "check_effects_complete",
     "LintIssue", "lint_contexts",
     "LivenessReport", "estimate_liveness",
     "SourceLintIssue", "lint_span_safety", "lint_span_safety_source",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.analysis                # all examples
     python -m repro.analysis resnet bert    # a subset
     python -m repro.analysis --strict       # lint warnings fail the run
+    python -m repro.analysis races          # effect/race analysis only
 
 For every example model the tool
 
@@ -18,6 +19,13 @@ For every example model the tool
 
 Exit status is non-zero on verification failures or missing schemas (and on
 lint findings with ``--strict``) — suitable as a CI gate.
+
+The ``races`` subcommand runs the static effect/race analysis
+(:mod:`repro.analysis.effects`) instead: it checks effect-signature
+completeness against the schema registry and reports every conflicting op
+pair of each example's training plan.  The vanilla model zoo must report
+zero conflicts (every variable writer is ordered behind its read by a data
+edge), so any finding is a regression and fails the run.
 """
 
 from __future__ import annotations
@@ -120,7 +128,59 @@ def _analyze_example(name: str, build, feeds, strict: bool) -> int:
     return failures
 
 
+def _check_effects() -> int:
+    from . import effects, schemas
+    try:
+        effects.check_effects_complete()
+    except schemas.SchemaError as exc:
+        print(f"FAIL effect registry incomplete: {exc}")
+        return 1
+    print(f"ok   effect registry complete "
+          f"({len(effects.GRAPH_EFFECTS)} graph op signatures)")
+    return 0
+
+
+def _races_example(name: str, build, feeds) -> int:
+    from ..graph.core import GraphTensor, topo_plan
+    from .effects import analyze_plan
+
+    gm = build()
+    fetches = [gm.loss] + ([gm.train_op] if gm.train_op is not None else [])
+    roots = [f.op if isinstance(f, GraphTensor) else f for f in fetches]
+    report = analyze_plan(topo_plan(roots))
+    status = "ok  " if report.ok else "FAIL"
+    print(f"{status} {name}: {report}")
+    return 0 if report.ok else 1
+
+
+def _races_main(argv: list[str]) -> int:
+    examples = _build_examples()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis races",
+        description="static effect/race analysis over the example models")
+    parser.add_argument("examples", nargs="*", metavar="example",
+                        help=f"examples to analyze (default: all of "
+                             f"{', '.join(sorted(examples))})")
+    args = parser.parse_args(argv)
+    unknown = sorted(set(args.examples) - set(examples))
+    if unknown:
+        parser.error(f"unknown example(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(sorted(examples))})")
+
+    np.seterr(all="ignore")
+    failures = _check_effects()
+    for name in args.examples or sorted(examples):
+        build, feeds = examples[name]
+        failures += _races_example(name, build, feeds)
+    print("PASS" if failures == 0 else f"FAIL ({failures} failing checks)")
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "races":
+        return _races_main(argv[1:])
     examples = _build_examples()
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

@@ -1,0 +1,434 @@
+"""Static effect system and plan-level race detection.
+
+The wavefront executor (see DESIGN.md, "Parallel execution") needs to know
+which ops of a plan may run concurrently.  Until this module existed the
+session answered with a whole-plan guess: one variable-store writer, one
+training batch norm or one undeclared ``PyCall`` forced the *entire* plan
+serial.  The effect system replaces the guess with an analysis:
+
+* every builtin graph op type has a registered **effect signature** —
+  :data:`PURE` (a function of its inputs only), ``reads-state(key)`` /
+  ``writes-state(key)`` over named variable-store keys, ``rng`` (consumes
+  nondeterministic generator state, modeled as the synthetic key
+  :data:`RNG_KEY`), or ``ordered-event`` (:data:`ORDERED_EVENTS_KEY`);
+* tool-inserted ``PyCall`` ops carry explicit declarations
+  (``Tool.effects`` → the ``effects`` tag the graph driver attaches); an
+  undeclared ``PyCall`` is **opaque** and keeps the conservative whole-plan
+  serial fallback;
+* :func:`analyze_plan` enumerates the *conflicting pairs* — two ops with no
+  dependency path between them where one writes a state key the other reads
+  or writes — and emits serialization edges (earlier plan position → later)
+  that the session injects into :func:`repro.graph.core.plan_levels`.
+
+Ordering conflicting pairs by plan position reproduces the serial executor's
+per-key access sequence exactly, so a wavefront run with injected edges is
+bit-identical to a serial run; everything not involved in a conflict keeps
+its parallelism.
+
+Completeness is enforced like the op-schema registry:
+:func:`missing_effect_signatures` diffs the effect table against
+``GRAPH_SCHEMAS`` and a unit test (plus ``python -m repro.analysis races``)
+fails when an op type has a schema but no effect signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Mapping, Sequence
+
+from ..graph.core import Operation
+from .schemas import GRAPH_SCHEMAS, SchemaError
+
+__all__ = [
+    "EffectSig", "PURE", "OPAQUE", "RNG_KEY", "ORDERED_EVENTS_KEY",
+    "GRAPH_EFFECTS", "register_graph_effect", "effect_signature",
+    "normalize_effects", "Conflict", "RaceReport", "analyze_plan",
+    "missing_effect_signatures", "stale_effect_signatures",
+    "check_effects_complete",
+]
+
+#: synthetic state key modeling nondeterministic RNG stream consumption
+RNG_KEY = "<rng>"
+#: synthetic state key modeling externally observable event ordering
+ORDERED_EVENTS_KEY = "<ordered-events>"
+
+#: op tag caching the computed signature; ``copy_graph`` copies tags, so the
+#: memo survives the driver's clone/rewrite cycle and plan recompilation
+#: after ``tool_epoch`` bumps never redoes the per-op classification.  Safe
+#: because signatures depend only on op type / attrs / declaration tags, all
+#: fixed at op construction, and ``Graph.fingerprint`` ignores tags.
+_MEMO_TAG = "_effect_sig"
+
+
+@dataclass(frozen=True)
+class EffectSig:
+    """Static effect signature of one operation.
+
+    ``reads``/``writes`` are variable-store keys (plus the synthetic
+    :data:`RNG_KEY` / :data:`ORDERED_EVENTS_KEY`).  ``opaque`` marks an op
+    whose effects are unknown — the analysis cannot bound it, so its plan
+    falls back to the serial executor.
+    """
+
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+    opaque: bool = False
+
+    @property
+    def pure(self) -> bool:
+        return not (self.reads or self.writes or self.opaque)
+
+    @property
+    def stateful(self) -> bool:
+        return bool(self.reads or self.writes)
+
+    def conflicts_with(self, other: "EffectSig") -> frozenset:
+        """State keys on which the two signatures race when unordered."""
+        return (self.writes & (other.reads | other.writes)) \
+            | (other.writes & self.reads)
+
+    def __str__(self) -> str:
+        if self.opaque:
+            return "opaque"
+        if self.pure:
+            return "pure"
+        parts = []
+        if self.reads:
+            parts.append(f"reads={sorted(self.reads)}")
+        if self.writes:
+            parts.append(f"writes={sorted(self.writes)}")
+        return " ".join(parts)
+
+
+PURE = EffectSig()
+OPAQUE = EffectSig(opaque=True)
+_RNG = EffectSig(reads=frozenset((RNG_KEY,)), writes=frozenset((RNG_KEY,)))
+
+
+def normalize_effects(declaration) -> EffectSig:
+    """Normalize a user/tool effect declaration into an :class:`EffectSig`.
+
+    Accepts an :class:`EffectSig`, the strings ``"pure"`` / ``"opaque"``, or
+    a mapping with any of ``reads`` / ``writes`` (iterables of state keys)
+    and ``rng`` / ``ordered`` (booleans, expanded to the synthetic keys).
+    """
+    if isinstance(declaration, EffectSig):
+        return declaration
+    if declaration == "pure":
+        return PURE
+    if declaration == "opaque":
+        return OPAQUE
+    if isinstance(declaration, Mapping):
+        unknown = set(declaration) - {"reads", "writes", "rng", "ordered"}
+        if unknown:
+            raise ValueError(
+                f"unknown effect declaration keys {sorted(unknown)}; "
+                "expected reads/writes/rng/ordered")
+        reads = frozenset(declaration.get("reads", ()))
+        writes = frozenset(declaration.get("writes", ()))
+        if declaration.get("rng"):
+            reads |= {RNG_KEY}
+            writes |= {RNG_KEY}
+        if declaration.get("ordered"):
+            reads |= {ORDERED_EVENTS_KEY}
+            writes |= {ORDERED_EVENTS_KEY}
+        return EffectSig(reads=reads, writes=writes)
+    raise ValueError(f"cannot interpret effect declaration {declaration!r}")
+
+
+# ---------------------------------------------------------------------------
+# signature registry (graph backend)
+# ---------------------------------------------------------------------------
+
+#: op type -> rule computing the signature from the concrete Operation
+GRAPH_EFFECTS: dict[str, Callable[[Operation], EffectSig]] = {}
+
+
+def register_graph_effect(op_type: str,
+                          rule: Callable[[Operation], EffectSig]) -> None:
+    if op_type in GRAPH_EFFECTS:
+        raise SchemaError(f"duplicate graph effect rule for {op_type!r}")
+    GRAPH_EFFECTS[op_type] = rule
+
+
+def _pure_rule(op: Operation) -> EffectSig:
+    return PURE
+
+
+#: builtin op types that are pure functions of their inputs.  Listed
+#: explicitly (not defaulted) so that adding a new op forces a conscious
+#: effect classification — the completeness check below enforces it.
+_PURE_OPS = (
+    "Placeholder", "Const", "Identity", "NoOp",
+    "Add", "Sub", "Mul", "RealDiv", "Neg", "Square", "Sqrt",
+    "Relu", "Gelu", "Sigmoid", "Tanh", "Softmax", "LogSoftmax", "OnesLike",
+    "ReluGrad", "GeluGrad", "SigmoidGrad", "TanhGrad", "SoftmaxGrad",
+    "LogSoftmaxGrad", "BroadcastGradient",
+    "MatMul", "Conv2D", "Conv2DBackpropInput", "Conv2DBackpropFilter",
+    "BiasAdd", "BiasAddGrad", "MaxPool", "AvgPool", "MaxPoolGrad",
+    "AvgPoolGrad", "FusedBatchNormGrad", "LayerNorm", "LayerNormGrad",
+    "Reshape", "ReshapeGrad", "Transpose", "ConcatV2", "ConcatGrad",
+    "Mean", "Sum", "ReduceGrad", "GatherV2", "GatherGrad",
+    "SparseSoftmaxCrossEntropyWithLogits", "XentGrad",
+    "AddN", "FusedConv2D", "FusedMatMul",
+)
+for _name in _PURE_OPS:
+    register_graph_effect(_name, _pure_rule)
+
+
+def _variable_rule(op: Operation) -> EffectSig:
+    # compute reads the store under the op's own name
+    return EffectSig(reads=frozenset((op.name,)))
+
+
+def _assign_rule(op: Operation) -> EffectSig:
+    # the current value arrives as a data input (the Variable output), so the
+    # compute only *writes* the store; the read is ordered by the data edge
+    return EffectSig(writes=frozenset((op.attrs["var_name"],)))
+
+
+def _batch_norm_rule(op: Operation) -> EffectSig:
+    keys = frozenset((op.attrs["running_mean"], op.attrs["running_var"]))
+    if op.attrs.get("training"):
+        return EffectSig(reads=keys, writes=keys)
+    return EffectSig(reads=keys)
+
+
+def _dropout_rule(op: Operation) -> EffectSig:
+    # a fixed seed makes the mask a pure function of the attrs; a None seed
+    # in training mode draws fresh OS entropy per execution
+    if op.attrs.get("training") and op.attrs.get("rate", 0.0) > 0 \
+            and op.attrs.get("seed") is None:
+        return _RNG
+    return PURE
+
+
+def _pycall_rule(op: Operation) -> EffectSig:
+    declaration = op.tags.get("effects")
+    if declaration is not None:
+        return normalize_effects(declaration)
+    if op.tags.get("parallel_safe"):
+        # legacy observe-only tag from the graph driver: no declared state
+        return PURE
+    return OPAQUE
+
+
+register_graph_effect("Variable", _variable_rule)
+register_graph_effect("AssignSub", _assign_rule)
+register_graph_effect("AssignAdd", _assign_rule)
+register_graph_effect("AssignVar", _assign_rule)
+register_graph_effect("FusedBatchNorm", _batch_norm_rule)
+register_graph_effect("Dropout", _dropout_rule)
+register_graph_effect("PyCall", _pycall_rule)
+
+
+def effect_signature(op: Operation) -> EffectSig:
+    """The (memoized) effect signature of one graph operation.
+
+    Unregistered op types (e.g. a user-registered compute without an effect
+    rule) are conservatively opaque.
+    """
+    memo = op.tags.get(_MEMO_TAG)
+    if memo is not None:
+        return memo
+    rule = GRAPH_EFFECTS.get(op.type)
+    sig = rule(op) if rule is not None else OPAQUE
+    op.tags[_MEMO_TAG] = sig
+    return sig
+
+
+# ---------------------------------------------------------------------------
+# registry completeness (CI-enforced, like the schema registry)
+# ---------------------------------------------------------------------------
+
+def missing_effect_signatures() -> set[str]:
+    """Graph op types with a schema but no effect signature rule."""
+    from ..graph import builder, fusion, gradients  # noqa: F401 (register)
+    return set(GRAPH_SCHEMAS) - set(GRAPH_EFFECTS)
+
+
+def stale_effect_signatures() -> set[str]:
+    """Effect rules whose op type has no schema (dead rule)."""
+    from ..graph import builder, fusion, gradients  # noqa: F401
+    return set(GRAPH_EFFECTS) - set(GRAPH_SCHEMAS)
+
+
+def check_effects_complete() -> None:
+    """Raise :class:`SchemaError` if any schema'd op lacks an effect rule."""
+    problems = []
+    missing = missing_effect_signatures()
+    if missing:
+        problems.append(f"graph ops without an effect signature: "
+                        f"{sorted(missing)}")
+    stale = stale_effect_signatures()
+    if stale:
+        problems.append(f"effect signatures without a schema: "
+                        f"{sorted(stale)}")
+    if problems:
+        raise SchemaError("; ".join(problems))
+
+
+# ---------------------------------------------------------------------------
+# plan-level race detection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Conflict:
+    """One unordered op pair racing on shared state, with provenance."""
+
+    kind: str                 # "write-write" | "read-write"
+    keys: tuple[str, ...]     # the contested state keys
+    first: str                # plan-earlier op name (runs first when ordered)
+    first_type: str
+    second: str               # plan-later op name (serialized after `first`)
+    second_type: str
+
+    def describe(self, op_name: str) -> str:
+        """Per-op serialization reason, as listed by the session report."""
+        keys = ", ".join(repr(k) for k in self.keys)
+        if op_name == self.second:
+            return (f"serialized after {self.first!r}: {self.kind} "
+                    f"conflict on state key(s) {keys}")
+        return (f"ordered before {self.second!r}: {self.kind} "
+                f"conflict on state key(s) {keys}")
+
+    def __str__(self) -> str:
+        keys = ", ".join(repr(k) for k in self.keys)
+        return (f"[{self.kind}] {self.first} ({self.first_type}) ~ "
+                f"{self.second} ({self.second_type}) on state key(s) {keys}")
+
+
+@dataclass
+class RaceReport:
+    """Race-analysis result for one execution plan.
+
+    Mirrors the verifier's report shape: ``ok`` plus per-finding provenance.
+    ``extra_edges`` maps each conflict's plan-later op to the plan-earlier
+    ops it must wait for — exactly the serialization edges
+    :func:`repro.graph.core.plan_levels` accepts as ``extra_deps``.
+    """
+
+    num_ops: int
+    conflicts: tuple = ()
+    #: (op name, op type, message) for every effect-opaque op in the plan
+    opaque_ops: tuple = ()
+    extra_edges: dict = field(default_factory=dict)
+    #: number of ops with a non-pure (stateful) signature
+    stateful_ops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and not self.opaque_ops
+
+    @property
+    def serial_only_reason(self) -> str | None:
+        """Why the whole plan must stay serial, or None (conflicts alone
+        never force serial — they are resolved by injected edges)."""
+        if self.opaque_ops:
+            return self.opaque_ops[0][2]
+        return None
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (f"race analysis OK ({self.num_ops} ops, "
+                    f"{self.stateful_ops} stateful, no conflicting pairs)")
+        lines = [f"race analysis found {len(self.conflicts)} conflicting "
+                 f"pair(s), {len(self.opaque_ops)} opaque op(s) "
+                 f"({self.num_ops} ops, {self.stateful_ops} stateful):"]
+        lines += [f"  {conflict}" for conflict in self.conflicts]
+        lines += [f"  [opaque] {name} ({op_type}): {message}"
+                  for name, op_type, message in self.opaque_ops]
+        return "\n".join(lines)
+
+
+def analyze_plan(plan: Sequence[Operation]) -> RaceReport:
+    """Detect state races between unordered op pairs of a topological plan.
+
+    Two ops conflict when no dependency path (data or control) connects them
+    and one writes a state key the other reads or writes.  For every
+    conflicting pair the report carries a serialization edge from the
+    plan-earlier op to the plan-later op: ordering by plan position
+    reproduces the serial executor's per-key access sequence, so executing
+    with the edges injected is bit-identical to a serial run.
+    """
+    readers: dict[str, list[int]] = {}
+    writers: dict[str, list[int]] = {}
+    opaque: list[tuple[str, str, str]] = []
+    stateful = 0
+    for i, op in enumerate(plan):
+        sig = effect_signature(op)
+        if sig.opaque:
+            if op.type == "PyCall":
+                message = (f"PyCall op {op.name!r} without declared effects "
+                           "(no Tool.effects declaration)")
+            else:
+                message = (f"op {op.name!r} ({op.type}) has no registered "
+                           "effect signature")
+            opaque.append((op.name, op.type, message))
+            continue
+        if sig.stateful:
+            stateful += 1
+            for key in sig.reads:
+                readers.setdefault(key, []).append(i)
+            for key in sig.writes:
+                writers.setdefault(key, []).append(i)
+
+    # candidate pairs per contested key: write-write and write-read
+    pairs: dict[tuple[int, int], dict] = {}
+
+    def _candidate(a: int, b: int, kind: str, key: str) -> None:
+        if a == b:
+            return
+        if a > b:
+            a, b = b, a
+        entry = pairs.setdefault((a, b), {"kinds": set(), "keys": set()})
+        entry["kinds"].add(kind)
+        entry["keys"].add(key)
+
+    for key, key_writers in writers.items():
+        writer_set = set(key_writers)
+        for a, b in combinations(key_writers, 2):
+            _candidate(a, b, "write-write", key)
+        for w in key_writers:
+            for r in readers.get(key, ()):
+                if r not in writer_set:
+                    _candidate(w, r, "read-write", key)
+
+    if not pairs:
+        return RaceReport(len(plan), opaque_ops=tuple(opaque),
+                          stateful_ops=stateful)
+
+    # ancestor reachability over the plan as per-op bitsets: plan order is
+    # topological, so op j can only descend from i < j and one linear pass
+    # suffices.  reach[i] has bit k set iff k is i or an ancestor of i.
+    index = {op.name: i for i, op in enumerate(plan)}
+    reach: list[int] = [0] * len(plan)
+    for i, op in enumerate(plan):
+        mask = 1 << i
+        for edge in op.inputs:
+            j = index.get(edge.op.name)
+            if j is not None:
+                mask |= reach[j]
+        for dep in op.control_inputs:
+            j = index.get(dep.name)
+            if j is not None:
+                mask |= reach[j]
+        reach[i] = mask
+
+    conflicts: list[Conflict] = []
+    extra_edges: dict[str, list[str]] = {}
+    for (a, b), entry in sorted(pairs.items()):
+        if (reach[b] >> a) & 1:
+            continue  # a dependency path already orders the pair
+        kind = "write-write" if "write-write" in entry["kinds"] \
+            else "read-write"
+        conflicts.append(Conflict(kind, tuple(sorted(entry["keys"])),
+                                  plan[a].name, plan[a].type,
+                                  plan[b].name, plan[b].type))
+        extra_edges.setdefault(plan[b].name, []).append(plan[a].name)
+
+    return RaceReport(len(plan), tuple(conflicts), tuple(opaque),
+                      {name: tuple(deps)
+                       for name, deps in extra_edges.items()},
+                      stateful)

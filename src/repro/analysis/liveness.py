@@ -14,10 +14,12 @@ Two schedule modes mirror the session's two executors:
 * ``schedule_mode="serial"`` (default) frees each intermediate right after
   its last consuming *op* — the classic estimate;
 * ``schedule_mode="wavefront"`` partitions the plan with
-  :func:`repro.graph.core.plan_levels` and frees each intermediate after its
-  last consuming *level*, which is exactly what the parallel executor does at
-  its level barriers — so the wavefront estimate is a sound upper bound on
-  the parallel runtime's activation peak.
+  :func:`repro.graph.core.plan_levels` — including the serialization edges
+  the race analysis (:mod:`repro.analysis.effects`) injects between
+  effect-conflicting op pairs, mirroring ``CompiledPlan`` — and frees each
+  intermediate after its last consuming *level*, which is exactly what the
+  parallel executor does at its level barriers — so the wavefront estimate
+  is a sound upper bound on the parallel runtime's activation peak.
 
 The result is directly comparable to the *dynamic* activation-liveness peak
 measured by :class:`repro.tools.memory.MemoryProfilingTool` (same
@@ -32,6 +34,7 @@ from typing import Iterable, Mapping
 
 from ..graph.core import (SKIP_TYPES, Graph, GraphTensor, Operation,
                           plan_levels, topo_plan)
+from .effects import analyze_plan
 from .schemas import numel
 from .verify import GraphVerifier
 
@@ -179,11 +182,13 @@ def _sweep_wavefront(report: LivenessReport, plan: list[Operation],
                      position: dict[str, int], fetched: set[str]) -> None:
     """Level-barrier sweep: frees happen after the last consuming *level*.
 
-    Matches ``Session._run_wavefront`` exactly — within a level the ops
-    allocate one by one in plan order (the session's bookkeeping loop), then
-    the level's expired intermediates are freed at the barrier.
+    Matches ``Session._run_wavefront`` exactly — the levels include the race
+    analysis' serialization edges (so the static bound respects the same
+    barriers the executor honors), within a level the ops allocate one by
+    one in plan order (the session's bookkeeping loop), then the level's
+    expired intermediates are freed at the barrier.
     """
-    levels = plan_levels(plan)
+    levels = plan_levels(plan, extra_deps=analyze_plan(plan).extra_edges)
     level_of = {op.name: i for i, level in enumerate(levels) for op in level}
     last_level: dict[str, int] = {}
     for op in plan:

@@ -55,6 +55,10 @@ class GraphDriver(BackendDriver):
         self.verify = verify
         #: per-op contexts of the most recent rewrite (lint-pass input)
         self.last_contexts: list[OpContext] = []
+        #: tool name -> declared effect signature (``Tool.effects``), rebuilt
+        #: per rewrite and stamped onto every realized PyCall as its
+        #: ``effects`` tag for the race analysis
+        self._tool_effects: dict[str, object] = {}
         #: compiled plans of the most recent rewrite (plan_stats input)
         self.last_plans: list[ExecutionPlan] = []
         #: verification report of the most recent rewrite (when verifying)
@@ -83,6 +87,7 @@ class GraphDriver(BackendDriver):
         self.last_plans = []
         self.last_report = None
         self.vanilla_fallbacks = 0
+        self._tool_effects = {}
 
     def health(self) -> dict:
         return {"vanilla_fallbacks": self.vanilla_fallbacks,
@@ -157,6 +162,12 @@ class GraphDriver(BackendDriver):
     def _instrument_graph_inner(self, graph: Graph,
                                 feed_shapes: dict | None) -> tuple[Graph, dict]:
         mgr = self.manager
+        # snapshot the active tools' effect declarations: every PyCall a
+        # tool's actions realize below is tagged with them, so the race
+        # analysis can scope (instead of serialize) the instrumented plan
+        self._tool_effects = {
+            tool.name: tool.effects for tool in mgr.tools
+            if getattr(tool, "effects", None) is not None}
         clone, _ = copy_graph(graph)
         # account the instrumented graph instance + per-op contexts as
         # framework bookkeeping memory (Fig. 13)
@@ -309,6 +320,18 @@ class GraphDriver(BackendDriver):
     #: observe-only callbacks may run from wavefront worker threads
     _SAFE_TAGS = {"alloc_scope": "tool", "parallel_safe": True}
 
+    def _step_tags(self, tool: str | None, observe_only: bool = False) -> dict:
+        """Tags for one realized PyCall: base tags + the tool's declared
+        effects (when it declared any), so the race analysis sees the
+        callback's state footprint instead of treating it as opaque."""
+        base = self._SAFE_TAGS if observe_only else self._TAGS
+        declared = self._tool_effects.get(tool)
+        if declared is None:
+            return base
+        tags = dict(base)
+        tags["effects"] = declared
+        return tags
+
     def _prov(self, op: Operation, i_point: str,
               tool: str | None = None) -> Provenance:
         return Provenance(tool=tool, op_id=op.op_id, op_type=op.type,
@@ -319,7 +342,6 @@ class GraphDriver(BackendDriver):
                          redirects: dict[str, Operation],
                          observe_only: bool = False) -> None:
         runner = self.manager.run_instrumentation
-        tags = self._SAFE_TAGS if observe_only else self._TAGS
         for step in plan_slice.before:
             indices = step.indices
             if indices is None:
@@ -334,7 +356,8 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(indices),
                             self._prov(op, "before_forward_op",
                                        step.action.tool)),
-                name=f"PyCall_before_{op.name}", tags=tags)
+                name=f"PyCall_before_{op.name}",
+                tags=self._step_tags(step.action.tool, observe_only))
         for step in plan_slice.after:
             indices = step.indices
             if indices is None:
@@ -346,7 +369,8 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(indices),
                             self._prov(op, "after_forward_op",
                                        step.action.tool)),
-                name=f"PyCall_after_{op.name}", tags=tags)
+                name=f"PyCall_after_{op.name}",
+                tags=self._step_tags(step.action.tool, observe_only))
             for position, index in enumerate(indices):
                 redirects.setdefault(op.outputs[index].name,
                                      node.outputs[position])
@@ -356,7 +380,9 @@ class GraphDriver(BackendDriver):
                     runner, len(op.outputs),
                     self._prov(op, "replace_op",
                                plan_slice.replace.action.tool)),
-                name=f"PyCall_replace_{op.name}", tags=tags)
+                name=f"PyCall_replace_{op.name}",
+                tags=self._step_tags(plan_slice.replace.action.tool,
+                                     observe_only))
             for index, tensor in enumerate(op.outputs):
                 redirects.setdefault(tensor.name, node.outputs[index])
 
@@ -379,7 +405,8 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(positions),
                             self._prov(bop, "before_backward_op",
                                        step.action.tool)),
-                name=f"PyCall_before_{bop.name}", tags=self._TAGS)
+                name=f"PyCall_before_{bop.name}",
+                tags=self._step_tags(step.action.tool))
         for step in plan_slice.after:
             indices = step.indices
             if not indices:
@@ -392,7 +419,8 @@ class GraphDriver(BackendDriver):
                 step.pycall(runner, len(indices),
                             self._prov(bop, "after_backward_op",
                                        step.action.tool)),
-                name=f"PyCall_after_{bop.name}", tags=self._TAGS)
+                name=f"PyCall_after_{bop.name}",
+                tags=self._step_tags(step.action.tool))
             for position, index in enumerate(indices):
                 redirects.setdefault(bop.outputs[index].name,
                                      node.outputs[position])
@@ -402,7 +430,8 @@ class GraphDriver(BackendDriver):
                     runner, len(bop.outputs),
                     self._prov(bop, "replace_backward_op",
                                plan_slice.replace.action.tool)),
-                name=f"PyCall_replace_{bop.name}", tags=self._TAGS)
+                name=f"PyCall_replace_{bop.name}",
+                tags=self._step_tags(plan_slice.replace.action.tool))
             for index, tensor in enumerate(bop.outputs):
                 redirects.setdefault(tensor.name, node.outputs[index])
 

@@ -13,6 +13,12 @@ Current knobs:
   host's CPU count.  Values ``<= 1`` keep the classic serial executor.  The
   executor falls back to serial regardless of this knob whenever the plan is
   not provably parallel-safe (see DESIGN.md, "Parallel execution").
+* ``effect_analysis`` (env ``AMANDA_EFFECT_ANALYSIS``, default on) — decide
+  parallel eligibility with the static effect system / race detector
+  (:mod:`repro.analysis.effects`), serializing only the conflicting op
+  pairs.  Off restores the legacy all-or-nothing classification (any store
+  writer, training batch norm or non-``parallel_safe`` PyCall forces the
+  whole plan serial) — an escape hatch and the A/B benchmarking baseline.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-__all__ = ["Config", "config", "num_workers"]
+__all__ = ["Config", "config", "num_workers", "effect_analysis"]
 
 
 def _parse_workers(value: str | int | None, default: int = 1) -> int:
@@ -40,6 +46,20 @@ def _parse_workers(value: str | int | None, default: int = 1) -> int:
     return max(1, workers)
 
 
+def _parse_flag(value: str | bool | None, default: bool = True) -> bool:
+    """Parse an on/off setting; unrecognized values keep the default."""
+    if value is None:
+        return default
+    if isinstance(value, bool):
+        return value
+    text = value.strip().lower()
+    if text in ("1", "true", "on", "yes"):
+        return True
+    if text in ("0", "false", "off", "no"):
+        return False
+    return default
+
+
 class Config:
     """Process-global runtime knobs, env-seeded and scope-overridable."""
 
@@ -49,12 +69,15 @@ class Config:
     def refresh_from_env(self) -> None:
         """Re-read every knob from its environment variable."""
         self.num_workers = _parse_workers(os.environ.get("AMANDA_NUM_WORKERS"))
+        self.effect_analysis = _parse_flag(
+            os.environ.get("AMANDA_EFFECT_ANALYSIS"))
 
     def set_num_workers(self, workers: int | str) -> None:
         self.num_workers = _parse_workers(workers)
 
     def __repr__(self) -> str:
-        return f"Config(num_workers={self.num_workers})"
+        return (f"Config(num_workers={self.num_workers}, "
+                f"effect_analysis={self.effect_analysis})")
 
 
 #: process-global configuration instance (``amanda.config``)
@@ -70,3 +93,14 @@ def num_workers(workers: int | str):
         yield config
     finally:
         config.num_workers = previous
+
+
+@contextmanager
+def effect_analysis(enabled: bool):
+    """Scope-override the effect-analysis knob (``amanda.effect_analysis``)."""
+    previous = config.effect_analysis
+    config.effect_analysis = _parse_flag(enabled)
+    try:
+        yield config
+    finally:
+        config.effect_analysis = previous

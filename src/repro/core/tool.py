@@ -46,6 +46,16 @@ class Tool:
     #: their writes do not count as user state for fast-path decisions
     is_context_transform = False
 
+    #: static effect declaration for the ``PyCall`` ops this tool inserts
+    #: into graphs, consumed by the race analysis
+    #: (:mod:`repro.analysis.effects`): ``None`` (undeclared — the PyCalls
+    #: are effect-opaque and force the serial executor), ``"pure"`` (the
+    #: instrumentation routines compute from their inputs only), or a
+    #: mapping with any of ``reads`` / ``writes`` (iterables of state keys),
+    #: ``rng`` / ``ordered`` (booleans).  Declared tools keep wavefront
+    #: parallelism; conflicting declarations are serialized pairwise.
+    effects = None
+
     def __init__(self, name: str | None = None) -> None:
         self.name = name or type(self).__name__
         self._dependencies: list[Tool] = []

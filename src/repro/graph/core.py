@@ -68,7 +68,8 @@ def topo_plan(roots: Iterable["Operation"]) -> list["Operation"]:
     return plan
 
 
-def plan_levels(plan: list["Operation"]) -> list[list["Operation"]]:
+def plan_levels(plan: list["Operation"],
+                extra_deps: dict | None = None) -> list[list["Operation"]]:
     """Partition a topological plan into dependency *wavefronts*.
 
     Level ``L`` holds every op whose longest dependency chain within the plan
@@ -76,6 +77,12 @@ def plan_levels(plan: list["Operation"]) -> list[list["Operation"]]:
     or control path connects them), so a parallel executor may run each level
     concurrently with a barrier between levels.  Within a level, ops keep
     their plan order, so the partition is deterministic.
+
+    ``extra_deps`` (op name -> iterable of predecessor op names) adds
+    serialization edges beyond the graph's own data/control edges — the race
+    analysis (:mod:`repro.analysis.effects`) uses it to barrier-separate
+    effect-conflicting op pairs without mutating the (finalized) graph.
+    Every extra predecessor must precede its op in ``plan``.
     """
     level: dict[str, int] = {}
     levels: list[list[Operation]] = []
@@ -85,6 +92,11 @@ def plan_levels(plan: list["Operation"]) -> list[list["Operation"]]:
             depth = max(depth, level[edge.op.name] + 1)
         for dep in op.control_inputs:
             depth = max(depth, level[dep.name] + 1)
+        if extra_deps:
+            for name in extra_deps.get(op.name, ()):
+                prior = level.get(name)
+                if prior is not None:
+                    depth = max(depth, prior + 1)
         level[op.name] = depth
         if depth == len(levels):
             levels.append([])

@@ -23,12 +23,20 @@ Two executors share the compiled plan (see DESIGN.md, "Parallel execution"):
   kernels), releasing every intermediate at its statically-computed last-use
   level so the runtime memory peak tracks the static liveness estimate.
 
-The wavefront executor is conservative: a plan is only eligible when it is
-*provably* order-independent — no ``PyCall`` ops (unless the graph driver
-tagged them ``parallel_safe``, i.e. observe-only instrumentation), no
-variable-store writers, no training-mode batch norm — and no kernel
-subscriber demands in-order delivery.  Everything else silently falls back to
-the serial executor, so the knob can never change results.
+Parallel eligibility is decided by the static effect system
+(:mod:`repro.analysis.effects`): plan compilation runs the race detector,
+injects serialization edges between (only) the effect-conflicting op pairs,
+and the plan runs wavefronted with those pairs barrier-separated — ordering
+each pair by plan position reproduces the serial executor's per-key state
+access sequence, so results stay bit-identical.  Only two conditions still
+force the whole plan serial: an effect-*opaque* op (a ``PyCall`` whose tool
+declared no effects) and a kernel subscriber demanding in-order delivery.
+``config.effect_analysis = False`` (env ``AMANDA_EFFECT_ANALYSIS=0``)
+restores the legacy all-or-nothing rule — any store writer, training batch
+norm or non-``parallel_safe`` PyCall falls back serial — kept as an escape
+hatch and as the A/B baseline for ``benchmarks/bench_effects_ab.py``.
+``Session.last_serialization_report`` records, per run, which executor ran,
+why a fallback happened, and every serialized op with its conflict reason.
 """
 
 from __future__ import annotations
@@ -47,7 +55,8 @@ from .builder import COMPUTE
 from .core import (Graph, GraphTensor, Operation, VariableStore, plan_levels,
                    topo_plan)
 
-__all__ = ["Session", "SessionRunHook", "RunContext", "CompiledPlan"]
+__all__ = ["Session", "SessionRunHook", "RunContext", "CompiledPlan",
+           "SerializationReport"]
 
 
 class SessionRunHook:
@@ -77,32 +86,93 @@ class _Runtime:
         self.variables = variables
 
 
-#: op types whose compute writes the shared variable store — their relative
-#: order is semantic, so their presence forces the serial executor
+#: op types whose compute writes the shared variable store — under the
+#: legacy (pre-effect-system) classification their presence forced serial
 _STORE_WRITERS = frozenset({"AssignSub", "AssignAdd", "AssignVar"})
+
+
+@dataclass(frozen=True)
+class SerializationReport:
+    """Structured record of the most recent run's executor decision.
+
+    ``executor`` is ``"wavefront"`` or ``"serial"``; ``fallback_reason``
+    names the construct that forced a serial run despite ``num_workers > 1``
+    (None for a plain single-worker run or a successful wavefront run);
+    ``conflicts`` lists the effect-conflicting op pairs a wavefront run
+    serialized via injected edges.
+    """
+
+    executor: str
+    fallback_reason: str | None = None
+    conflicts: tuple = ()  # repro.analysis.effects.Conflict pairs
+
+    @property
+    def parallel(self) -> bool:
+        return self.executor == "wavefront"
+
+    @property
+    def serialized_ops(self) -> dict[str, list[str]]:
+        """Every op serialized by an injected edge -> its conflict reasons."""
+        ops: dict[str, list[str]] = {}
+        for conflict in self.conflicts:
+            ops.setdefault(conflict.first, []).append(
+                conflict.describe(conflict.first))
+            ops.setdefault(conflict.second, []).append(
+                conflict.describe(conflict.second))
+        return ops
+
+    def __str__(self) -> str:
+        if self.fallback_reason is not None:
+            return f"serial executor: {self.fallback_reason}"
+        if not self.parallel:
+            return "serial executor (single worker)"
+        if not self.conflicts:
+            return "wavefront executor, no conflicting op pairs"
+        lines = [f"wavefront executor, {len(self.conflicts)} conflicting "
+                 f"op pair(s) serialized:"]
+        lines += [f"  {conflict}" for conflict in self.conflicts]
+        return "\n".join(lines)
 
 
 class CompiledPlan:
     """A cached execution plan: topo order, wavefront levels, lifetimes.
 
     Compiled once per ``(graph fingerprint, fetches)`` and replayed by every
-    later ``run()``.  ``release_after_level[L]`` lists the ops whose outputs
-    see their last consumer in level ``L`` (fetched ops are never listed), so
-    the wavefront executor can free each intermediate at its statically
-    computed last use.  ``serial_only_reason`` names the first construct that
-    makes parallel execution unsound, or ``None`` when the plan is eligible.
+    later ``run()``.  Compilation runs the static race analysis
+    (:func:`repro.analysis.effects.analyze_plan`) and computes the wavefront
+    levels *with the analysis' serialization edges injected*, so
+    effect-conflicting op pairs land in different levels and the barrier
+    between levels orders them like the serial executor would.
+
+    ``release_after_level[L]`` lists the ops whose outputs see their last
+    consumer in level ``L`` (fetched ops are never listed), so the wavefront
+    executor can free each intermediate at its statically computed last use.
+    ``serial_only_reason`` names the first effect-opaque op (which makes the
+    analysis — and therefore parallel execution — unsound), or ``None`` when
+    the plan is wavefront-eligible.  ``legacy_serial_reason`` preserves the
+    pre-effect-system all-or-nothing verdict for the
+    ``config.effect_analysis = False`` escape hatch.
+
+    Both classifications and the race analysis happen once here; the per-op
+    effect signatures are additionally memoized on the ops themselves (and
+    survive the driver's graph cloning), so plan recompilation after a
+    ``tool_epoch`` bump never redoes the per-op effect scan.
     """
 
     __slots__ = ("ops", "levels", "position", "release_after_level",
-                 "serial_only_reason")
+                 "races", "serial_only_reason", "legacy_serial_reason")
 
     def __init__(self, ops: list[Operation], fetch_ops: tuple[str, ...]):
+        # lazy import: the analysis package sits above the graph core in the
+        # layering (same pattern as the graph driver's verifier import)
+        from ..analysis.effects import analyze_plan
         self.ops = ops
-        self.levels = plan_levels(ops)
+        self.races = analyze_plan(ops)
+        self.levels = plan_levels(ops, extra_deps=self.races.extra_edges)
         self.position = {op.name: i for i, op in enumerate(ops)}
         level_of = {op.name: i for i, level in enumerate(self.levels)
                     for op in level}
-        last_level = {op.name: level_of[op.name] for op in ops}
+        last_level = dict(level_of)
         for op in ops:
             for edge in op.inputs:
                 last_level[edge.op.name] = max(last_level[edge.op.name],
@@ -112,10 +182,12 @@ class CompiledPlan:
         for op in ops:
             if op.name not in fetched:
                 self.release_after_level[last_level[op.name]].append(op.name)
-        self.serial_only_reason = self._classify(ops)
+        self.serial_only_reason = self.races.serial_only_reason
+        self.legacy_serial_reason = self._classify_legacy(ops)
 
     @staticmethod
-    def _classify(ops: list[Operation]) -> str | None:
+    def _classify_legacy(ops: list[Operation]) -> str | None:
+        """Pre-effect-system whole-plan verdict (``effect_analysis`` off)."""
         for op in ops:
             if op.type == "PyCall" and not op.tags.get("parallel_safe"):
                 return f"PyCall op {op.name!r} without parallel_safe tag"
@@ -131,7 +203,8 @@ class CompiledPlan:
 
     def __repr__(self) -> str:
         return (f"CompiledPlan({len(self.ops)} ops, {len(self.levels)} levels, "
-                f"parallel_safe={self.parallel_safe})")
+                f"parallel_safe={self.parallel_safe}, "
+                f"{len(self.races.conflicts)} serialized pairs)")
 
 
 class Session:
@@ -151,8 +224,20 @@ class Session:
         self.last_run_seconds = 0.0
         #: whether the most recent run used the wavefront executor
         self.last_run_parallel = False
-        #: why the most recent run stayed serial despite ``num_workers > 1``
-        self.last_fallback_reason: str | None = None
+        #: structured executor decision of the most recent run: executor
+        #: kind, fallback reason, and every serialized op with its
+        #: effect-conflict reason
+        self.last_serialization_report: SerializationReport | None = None
+
+    @property
+    def last_fallback_reason(self) -> str | None:
+        """Why the most recent run stayed serial despite ``num_workers > 1``.
+
+        Derived alias over :attr:`last_serialization_report` (which also
+        lists the per-op conflicts a wavefront run serialized).
+        """
+        report = self.last_serialization_report
+        return report.fallback_reason if report is not None else None
 
     def add_hook(self, hook: SessionRunHook) -> None:
         self.hooks.append(hook)
@@ -223,15 +308,21 @@ class Session:
         runtime = _Runtime(feed, graph.variables)
         workers = config.num_workers
         self.last_run_parallel = False
-        self.last_fallback_reason = None
+        report = SerializationReport("serial")
         if workers > 1:
-            if not compiled.parallel_safe:
-                self.last_fallback_reason = compiled.serial_only_reason
+            reason = (compiled.serial_only_reason if config.effect_analysis
+                      else compiled.legacy_serial_reason)
+            if reason is not None:
+                report = SerializationReport("serial", fallback_reason=reason)
             elif kernel_runtime.has_ordered_subscribers:
-                self.last_fallback_reason = \
-                    "kernel subscriber demands in-order delivery"
+                report = SerializationReport(
+                    "serial", fallback_reason=
+                    "kernel subscriber demands in-order delivery")
             else:
                 self.last_run_parallel = True
+                report = SerializationReport(
+                    "wavefront", conflicts=compiled.races.conflicts)
+        self.last_serialization_report = report
         try:
             if self.last_run_parallel:
                 return self._run_wavefront(compiled, fetches, runtime, workers)

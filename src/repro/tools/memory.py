@@ -45,6 +45,8 @@ class RematerializationPlan:
 class MemoryProfilingTool(Tool):
     """Records per-operator activation footprints and execution order."""
 
+    effects = "pure"  # observation only: no graph-visible state
+
     def __init__(self) -> None:
         super().__init__()
         self.tracer = GraphTracingTool()

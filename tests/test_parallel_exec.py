@@ -77,8 +77,10 @@ class TestBitEquivalence:
 
 
 class TestFallbackRules:
-    def test_training_fetches_fall_back_to_serial(self, rng):
-        """Variable-store writers (AssignSub) force the serial executor."""
+    def test_training_fetches_run_wavefront_parallel(self, rng):
+        """Every optimizer writer data-depends on its Variable read, so the
+        race analysis finds zero conflicting pairs and training — the
+        headline case the old executor bailed out of — runs wavefronted."""
         gm = GM.build_mlp(learning_rate=0.3)
         sess = gm.session()
         x = rng.standard_normal((16, 16))
@@ -86,12 +88,26 @@ class TestFallbackRules:
         with amanda.num_workers(4):
             loss, _ = sess.run([gm.loss, gm.train_op],
                                {gm.inputs: x, gm.labels: y})
+        assert sess.last_run_parallel
+        report = sess.last_serialization_report
+        assert report.parallel and report.conflicts == ()
+        assert report.serialized_ops == {}
+        assert np.isfinite(loss)
+
+    def test_legacy_knob_restores_all_or_nothing_fallback(self, rng):
+        """AMANDA_EFFECT_ANALYSIS=0 brings back the old whole-plan bailout."""
+        gm = GM.build_mlp(learning_rate=0.3)
+        sess = gm.session()
+        feed = {gm.inputs: rng.standard_normal((16, 16)),
+                gm.labels: rng.integers(0, 4, 16)}
+        with amanda.num_workers(4), amanda.effect_analysis(False):
+            loss, _ = sess.run([gm.loss, gm.train_op], feed)
         assert not sess.last_run_parallel
-        assert "AssignSub" in sess.last_fallback_reason
+        assert "variable-store writer" in sess.last_fallback_reason
         assert np.isfinite(loss)
 
     def test_training_trajectory_identical_under_knob(self, rng):
-        """The knob never changes training numerics (serial fallback)."""
+        """The knob never changes training numerics (race-directed order)."""
         x = rng.standard_normal((16, 16))
         y = rng.integers(0, 4, 16)
 
@@ -137,6 +153,105 @@ class TestFallbackRules:
         sess.run(gm.logits, {gm.inputs: rng.standard_normal((4, 16))})
         assert not sess.last_run_parallel
         assert sess.last_fallback_reason is None
+
+
+class TestRaceDirectedParallel:
+    """Plans with genuine conflicts still run wavefronted: only the
+    conflicting pair is serialized, bit-identical to serial execution."""
+
+    @staticmethod
+    def _write_write_graph():
+        """Two independent writers of one variable — one write-write pair."""
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            v = gb.variable(np.zeros(4), name="v")
+            a = gb.assign_add(v, gb.relu(x), name="writer_a")
+            b = gb.assign_add(v, gb.tanh(x), name="writer_b")
+            step = gb.group([a, b], name="step").outputs[0]
+            out = gb.identity(gb.relu(x), name="out")
+        return g, x, step, out
+
+    def test_single_write_write_pair_bit_identical(self, rng):
+        x_val = rng.standard_normal(4)
+
+        def run(workers):
+            g, x, step, out = self._write_write_graph()
+            sess = G.Session(g)
+            fetched = _run(sess, [out, step], {x: x_val}, workers)[0]
+            return sess, np.asarray(fetched), g.variables.read("v")
+
+        sess, base_out, base_store = run(1)
+        assert not sess.last_run_parallel
+        for workers in WORKER_COUNTS[1:]:
+            sess, got_out, got_store = run(workers)
+            report = sess.last_serialization_report
+            assert sess.last_run_parallel, sess.last_fallback_reason
+            # exactly the one conflicting pair is serialized, nothing else
+            assert len(report.conflicts) == 1
+            conflict = report.conflicts[0]
+            assert conflict.kind == "write-write"
+            assert conflict.keys == ("v",)
+            assert set(report.serialized_ops) == {"writer_a", "writer_b"}
+            np.testing.assert_array_equal(got_out, base_out)
+            np.testing.assert_array_equal(got_store, base_store)
+
+    @staticmethod
+    def _shared_bn_graph():
+        """Two training BatchNorms updating the same running statistics."""
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            gamma = gb.constant(np.ones(3), name="gamma")
+            beta = gb.constant(np.zeros(3), name="beta")
+            g.variables.create("shared_mean", np.zeros(3))
+            g.variables.create("shared_var", np.ones(3))
+            y1 = gb.fused_batch_norm(x, gamma, beta, "shared_mean",
+                                     "shared_var", training=True, name="bn1")
+            y2 = gb.fused_batch_norm(x, gamma, beta, "shared_mean",
+                                     "shared_var", training=True, name="bn2")
+            out = gb.identity(y1 + y2, name="out")
+        return g, x, out
+
+    def test_training_batchnorm_pair_bit_identical(self, rng):
+        x_val = rng.standard_normal((8, 4, 4, 3))
+
+        def run(workers):
+            g, x, out = self._shared_bn_graph()
+            sess = G.Session(g)
+            fetched = _run(sess, out, {x: x_val}, workers)
+            return sess, np.asarray(fetched), \
+                g.variables.read("shared_mean"), \
+                g.variables.read("shared_var")
+
+        _, base_out, base_mean, base_var = run(1)
+        for workers in WORKER_COUNTS[1:]:
+            sess, got_out, got_mean, got_var = run(workers)
+            report = sess.last_serialization_report
+            assert sess.last_run_parallel, sess.last_fallback_reason
+            assert len(report.conflicts) == 1
+            assert report.conflicts[0].kind == "write-write"
+            assert set(report.conflicts[0].keys) == {"shared_mean",
+                                                     "shared_var"}
+            np.testing.assert_array_equal(got_out, base_out)
+            np.testing.assert_array_equal(got_mean, base_mean)
+            np.testing.assert_array_equal(got_var, base_var)
+
+    def test_mutating_tool_graph_still_parallelizes(self, rng):
+        """A rewriting tool that declares pure effects (pruning computes the
+        replacement statically) no longer forces the serial executor."""
+        from repro.amanda.tools import MagnitudePruningTool
+        gm = GM.build_mlp(learning_rate=None, depth=3)
+        sess = gm.session()
+        feed = {gm.inputs: rng.standard_normal((4, 16))}
+
+        def run(workers):
+            tool = MagnitudePruningTool(sparsity=0.5)
+            with amanda.num_workers(workers), amanda.apply(tool):
+                return np.asarray(sess.run(gm.logits, feed))
+
+        baseline = run(1)
+        got = run(4)
+        assert sess.last_run_parallel, sess.last_fallback_reason
+        np.testing.assert_array_equal(got, baseline)
 
 
 class TestCompiledPlan:
