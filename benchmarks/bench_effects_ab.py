@@ -73,6 +73,7 @@ def run_mode(workers, effect_analysis_on):
         losses = [step() for _ in range(3)]
         seconds = wall_time(step, repeats=REPEATS)
         final_var = np.array(gm.graph.variables.read(target))
+    sess.close()
     return {"losses": np.array(losses), "seconds": seconds,
             "final_var": final_var, "parallel": sess.last_run_parallel,
             "report": sess.last_serialization_report}

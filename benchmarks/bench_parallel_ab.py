@@ -62,6 +62,7 @@ def run_all():
         gm.graph, fetches=[gm.logits],
         feed_shapes={"input": INPUT_SHAPE}, exclude_types=(),
         schedule_mode="wavefront").peak_bytes
+    sess.close()
     return rows, bound
 
 

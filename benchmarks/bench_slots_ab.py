@@ -1,0 +1,207 @@
+"""A/B: dict-keyed executor vs slot-table executor vs slot-table + arena.
+
+The slot-table rework replaced the session's name-keyed value dict with
+integer-indexed slot lists assigned at plan-compile time, and the arena adds
+size-bucketed buffer reuse on top.  This benchmark keeps a bench-local
+replica of the retired dict-keyed serial executor (same compute registry,
+same accounting, string-hash lookups on the hot path) and swaps it in for
+``Session._run_serial``, so all three modes pay the identical ``run()``
+wrapper cost and the delta isolates the executor hot loop.
+
+Isolation strategy: a kernel-event subscriber (the CUPTI-style stream every
+mode emits identically) accumulates per-run kernel time, and *framework*
+time is wall minus kernel.  Modes are interleaved round-robin and the
+minimum over rounds is kept, so load drift on a shared host hits every mode
+alike.  Raced on InceptionV3 and BERT:
+
+* **equivalence** — all three modes produce bitwise-identical fetches;
+* **overhead** — per-op framework overhead drops from dict to slot-table
+  (the kernels are identical, so the delta is pure executor bookkeeping);
+* **churn** — the arena run performs zero fresh growths once warm.
+
+Runs under pytest (``--benchmark-only``) or directly::
+
+    python benchmarks/bench_slots_ab.py [--smoke]
+"""
+
+import os
+import sys
+import time
+import types
+
+import numpy as np
+
+import repro.amanda as amanda
+import repro.models.graph as GM
+from repro.eager import alloc
+from repro.graph.builder import COMPUTE
+from repro.kernels.runtime import runtime as kernel_runtime
+
+from _common import report
+
+QUICK = (os.environ.get("REPRO_BENCH_QUICK") == "1"
+         or "--smoke" in sys.argv)
+ROUNDS = 3 if QUICK else 48
+
+
+def _dict_run_serial(self, compiled, fetches, runtime):
+    """The retired dict-keyed serial executor, replicated bench-locally.
+
+    Every intermediate lives in a name-keyed dict; each op's input gather
+    and output publish pay a string-hash lookup per tensor — the cost the
+    slot-table executor compiles away.  Installed over ``_run_serial`` so
+    ``sess.run`` drives it through the unchanged plan/feed plumbing.
+    """
+    values: dict[str, np.ndarray] = {}
+    live: dict[str, tuple] = {}
+    variables = runtime.variables
+    tag_kernels = kernel_runtime.has_subscribers
+    try:
+        for op in compiled.ops:
+            compute = COMPUTE.get(op.type)
+            if compute is None:
+                raise NotImplementedError(f"no compute for {op.type!r}")
+            inputs = [values[edge.name] for edge in op.inputs]
+            if tag_kernels:
+                kernel_runtime.push_tag(f"{op.type}|{op.name}")
+                try:
+                    outputs = compute(op, inputs, runtime)
+                finally:
+                    kernel_runtime.pop_tag()
+            else:
+                outputs = compute(op, inputs, runtime)
+            for tensor, value in zip(op.outputs, outputs):
+                values[tensor.name] = value
+            input_ids = {id(value) for value in inputs}
+            nbytes = sum(np.asarray(o).nbytes for o in outputs
+                         if id(o) not in input_ids
+                         and not variables.owns(o))
+            scope = alloc.tracker.allocate(nbytes,
+                                           scope=op.tags.get("alloc_scope"))
+            live[op.name] = (nbytes, scope)
+        return [values[t.name] for t in fetches]
+    finally:
+        for entry in live.values():
+            alloc.tracker.release(*entry)
+
+
+class _KernelClock:
+    """Accumulates kernel durations from the event stream."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def __call__(self, event):
+        self.total += event.duration
+
+
+def bench_model(name, gm, feed):
+    fetches = [gm.logits, gm.loss]
+    clock = _KernelClock()
+    with gm.session() as sess:
+        num_ops = len(sess._plan(
+            gm.graph, tuple(t.op.name for t in fetches)).ops)
+        slot_serial = sess._run_serial
+        dict_serial = types.MethodType(_dict_run_serial, sess)
+
+        def run_dict():
+            sess._run_serial = dict_serial
+            try:
+                return sess.run(fetches, feed)
+            finally:
+                sess._run_serial = slot_serial
+
+        def run_slot():
+            return sess.run(fetches, feed)
+
+        def run_arena():
+            with amanda.arena_reuse(True):
+                return sess.run(fetches, feed)
+
+        modes = [("dict", run_dict), ("slot", run_slot),
+                 ("slot+arena", run_arena)]
+
+        # equivalence + warmup (also warms the arena pool)
+        baseline = [np.asarray(v) for v in run_dict()]
+        for _, fn in modes:
+            for expected, actual in zip(baseline, fn()):
+                np.testing.assert_array_equal(expected, np.asarray(actual))
+        growths = sess._arena.growths
+
+        # interleaved rounds: each round measures every mode back to back,
+        # so host load drift cancels in the per-round *paired* differences;
+        # kernel time comes from the event stream every mode emits
+        # identically, and the median over rounds rejects load spikes
+        samples = {mode: [] for mode, _ in modes}
+        kernel_runtime.subscribe(clock)
+        try:
+            for round_index in range(ROUNDS):
+                # alternate the order so neither mode systematically
+                # inherits the other's cache state or a load sawtooth
+                ordered = modes if round_index % 2 == 0 else modes[::-1]
+                for mode, fn in ordered:
+                    clock.total = 0.0
+                    start = time.perf_counter()
+                    fn()
+                    elapsed = time.perf_counter() - start
+                    samples[mode].append((elapsed, elapsed - clock.total))
+        finally:
+            kernel_runtime.unsubscribe(clock)
+        fresh = sess._arena.growths - growths
+    rows = [(mode,
+             min(wall for wall, _ in samples[mode]),
+             float(np.median([fw for _, fw in samples[mode]])))
+            for mode, _ in modes]
+    # paired per-round framework delta, dict minus slot: the drop estimate
+    delta = float(np.median(
+        [d[1] - s[1] for d, s in zip(samples["dict"], samples["slot"])]))
+    return name, num_ops, rows, fresh, delta
+
+
+def check_and_report(results):
+    lines = [f"host_cpus={os.cpu_count()}, rounds={ROUNDS} "
+             "(interleaved; wall=min, framework=median), "
+             "fetch=[logits, loss], framework = wall - kernel-event time"]
+    for name, num_ops, rows, fresh, delta in results:
+        dict_fw = rows[0][2]
+        lines.append(f"{name} ({num_ops} ops, "
+                     f"warm-arena growths={fresh})")
+        lines.append(f"  {'executor':<11} {'wall/iter':>11} "
+                     f"{'framework':>11} {'fw/op':>8} {'vs dict':>9}")
+        for mode, wall, framework in rows:
+            lines.append(
+                f"  {mode:<11} {wall * 1e3:>9.2f}ms "
+                f"{framework * 1e3:>9.2f}ms "
+                f"{framework / num_ops * 1e6:>6.2f}us "
+                f"{dict_fw / framework:>8.2f}x")
+        lines.append(f"  per-op framework-overhead drop dict -> slot "
+                     f"(median of paired rounds): "
+                     f"{delta / num_ops * 1e6:+.2f}us/op")
+        # steady state: the warm arena serves every iteration from the pool
+        assert fresh == 0, f"{name}: warm arena run grew the pool"
+    report("slots_ab", lines)
+
+
+def run_all():
+    rng = np.random.default_rng(0)
+    results = []
+
+    gm = GM.build_inception_v3()
+    results.append(bench_model("InceptionV3", gm, {
+        gm.inputs: rng.standard_normal((2, 16, 16, 3)),
+        gm.labels: rng.integers(0, 4, 2)}))
+
+    gm = GM.build_bert()
+    results.append(bench_model("BERT", gm, {
+        gm.inputs: rng.integers(0, 32, (2, 16)),
+        gm.labels: np.zeros((2, 16), dtype=int)}))
+    return results
+
+
+def test_slots_ab(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    check_and_report(results)
+
+
+if __name__ == "__main__":
+    check_and_report(run_all())

@@ -171,7 +171,7 @@ _PURE_OPS = (
     "Reshape", "ReshapeGrad", "Transpose", "ConcatV2", "ConcatGrad",
     "Mean", "Sum", "ReduceGrad", "GatherV2", "GatherGrad",
     "SparseSoftmaxCrossEntropyWithLogits", "XentGrad",
-    "AddN", "FusedConv2D", "FusedMatMul",
+    "AddN", "FusedConv2D", "FusedMatMul", "FusedElementwise",
 )
 for _name in _PURE_OPS:
     register_graph_effect(_name, _pure_rule)

@@ -60,6 +60,13 @@ class LivenessReport:
     peak_op: str | None = None
     #: ops whose output shapes could not be inferred (counted as 0 bytes)
     unknown_ops: list[str] = field(default_factory=list)
+    #: static arena simulation (idealized full-reuse bound): the pool
+    #: capacity a size-bucketed arena would grow to over one run if every
+    #: counted tensor were pooled and freed at its computed last use —
+    #: steady-state runs then perform zero growths against this capacity
+    arena_capacity_bytes: int = 0
+    arena_growths: int = 0
+    arena_reuses: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -148,6 +155,7 @@ def estimate_liveness(graph: Graph, fetches=None,
         for fetch in fetches}
     if schedule_mode == "wavefront":
         _sweep_wavefront(report, plan, position, fetched)
+        _simulate_arena(report, plan, shapes, dtype_bytes)
         return report
 
     last: dict[str, int] = {}
@@ -175,7 +183,50 @@ def estimate_liveness(graph: Graph, fetches=None,
             report.peak_op = op.name
         for name in frees.get(step, ()):
             live -= report.output_bytes[name]
+    _simulate_arena(report, plan, shapes, dtype_bytes)
     return report
+
+
+def _simulate_arena(report: LivenessReport, plan: list[Operation],
+                    shapes, dtype_bytes: int) -> None:
+    """Replay the schedule against a simulated size-bucketed buffer arena.
+
+    Mirrors :class:`repro.eager.alloc.Arena`: each counted tensor acquires a
+    power-of-two bucket at its producer's step and returns it right after
+    the op's computed last use (``report.lifetime``).  The resulting
+    ``arena_capacity_bytes`` is the static capacity bound the runtime pool
+    converges to — an *idealized* bound, since the executor only pools
+    elementwise float64 outputs — and a steady-state run against a pool of
+    this capacity performs zero fresh growths.
+    """
+    free: dict[int, int] = {}  # bucket numel -> available buffers
+    frees_at: dict[int, list[str]] = {}
+    by_name: dict[str, Operation] = {op.name: op for op in plan}
+    for name, (_, end) in report.lifetime.items():
+        frees_at.setdefault(end, []).append(name)
+
+    def buckets_of(op: Operation) -> list[int]:
+        if not report.output_bytes.get(op.name):
+            return []  # excluded, unknown-shape, or zero-byte op
+        out = []
+        for tensor in op.outputs:
+            count = numel(shapes.get(tensor.name))
+            if count:
+                out.append(1 << max(0, count - 1).bit_length()
+                           if count > 1 else 1)
+        return out
+
+    for step, op in enumerate(plan):
+        for bucket in buckets_of(op):
+            if free.get(bucket, 0) > 0:
+                free[bucket] -= 1
+                report.arena_reuses += 1
+            else:
+                report.arena_growths += 1
+                report.arena_capacity_bytes += bucket * dtype_bytes
+        for name in frees_at.get(step, ()):
+            for bucket in buckets_of(by_name[name]):
+                free[bucket] = free.get(bucket, 0) + 1
 
 
 def _sweep_wavefront(report: LivenessReport, plan: list[Operation],

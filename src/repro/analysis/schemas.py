@@ -411,6 +411,38 @@ def _infer_fused_matmul(op, in_shapes, env):
     return out
 
 
+#: binary elementwise op types a FusedElementwise chain may contain
+#: (mirrors ``repro.graph.fusion._EWISE_BINARY``)
+_FUSED_EWISE_BINARY = frozenset({"Add", "Sub", "Mul", "RealDiv"})
+
+
+def _infer_fused_elementwise(op, in_shapes, env):
+    """Replay the absorbed chain's shape flow: head, then broadcast links."""
+    chain = op.attrs["chain"]
+    head_type, _ = chain[0]
+    if head_type in _FUSED_EWISE_BINARY:
+        shape = broadcast_shapes(in_shapes[0], in_shapes[1],
+                                 what=f"{op.name} head {head_type} inputs")
+        pos = 2
+    else:
+        shape = in_shapes[0]
+        pos = 1
+    for op_type, _side in chain[1:]:
+        if op_type in _FUSED_EWISE_BINARY:
+            if pos >= len(in_shapes):
+                raise InferenceError(
+                    f"{op.name}: chain expects more inputs than provided "
+                    f"({len(in_shapes)})")
+            shape = broadcast_shapes(shape, in_shapes[pos],
+                                     what=f"{op.name} link {op_type}")
+            pos += 1
+    if pos != len(in_shapes):
+        raise InferenceError(
+            f"{op.name}: chain consumes {pos} inputs but the op has "
+            f"{len(in_shapes)}")
+    return [shape]
+
+
 def _infer_xent(op, in_shapes, env):
     logits = in_shapes[0]
     return [(), logits]
@@ -529,6 +561,8 @@ _g("FusedMatMul", 2, max_inputs=3,
    attrs={"has_bias": (bool,), "has_relu": (bool,),
           "transpose_a": (bool,), "transpose_b": (bool,)},
    infer=_infer_fused_matmul)
+_g("FusedElementwise", 1, max_inputs=64, attrs={"chain": (tuple,)},
+   required=("chain",), infer=_infer_fused_elementwise)
 
 
 # ---------------------------------------------------------------------------

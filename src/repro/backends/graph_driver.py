@@ -65,6 +65,9 @@ class GraphDriver(BackendDriver):
         self.last_report = None
         #: runs served by the vanilla graph after a contained failure
         self.vanilla_fallbacks = 0
+        #: executor stats of the most recently intercepted session run:
+        #: plan-cache occupancy and (when arena reuse is on) pool counters
+        self.last_executor_stats: dict | None = None
 
     @property
     def _should_verify(self) -> bool:
@@ -87,6 +90,7 @@ class GraphDriver(BackendDriver):
         self.last_plans = []
         self.last_report = None
         self.vanilla_fallbacks = 0
+        self.last_executor_stats = None
         self._tool_effects = {}
 
     def health(self) -> dict:
@@ -147,6 +151,16 @@ class GraphDriver(BackendDriver):
                 raise
             self.vanilla_fallbacks += 1
             return run_impl(session.graph, fetches, feed)
+        finally:
+            # post-run snapshot: the plan cache and arena the run produced
+            self._capture_executor_stats(session)
+
+    def _capture_executor_stats(self, session: Session) -> None:
+        arena = getattr(session, "_arena", None)
+        self.last_executor_stats = {
+            "plan_cache_entries": len(getattr(session, "_plan_cache", ())),
+            "arena": arena.stats() if arena is not None else None,
+        }
 
     # -- rewriting ---------------------------------------------------------------
     def _instrument_graph(self, graph: Graph,
@@ -448,7 +462,8 @@ class GraphDriver(BackendDriver):
         return {"graphs": len(self._graph_cache),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
-                "ops": ops, "by_kind": by_kind}
+                "ops": ops, "by_kind": by_kind,
+                "executor": self.last_executor_stats}
 
 
 register_driver_factory(GraphDriver)

@@ -19,6 +19,17 @@ Current knobs:
   pairs.  Off restores the legacy all-or-nothing classification (any store
   writer, training batch norm or non-``parallel_safe`` PyCall forces the
   whole plan serial) — an escape hatch and the A/B benchmarking baseline.
+* ``arena_reuse`` (env ``AMANDA_ARENA``, default off) — recycle executor
+  intermediates through a size-bucketed buffer arena
+  (:class:`repro.eager.alloc.Arena`): each buffer is released at its
+  statically-computed last use and reused by later ops, so steady-state
+  runs stop churning fresh numpy arrays.  Results are bit-identical;
+  tools that *retain* raw references to intermediate arrays across run
+  boundaries should copy them while the arena is on.
+* ``plan_cache_size`` (env ``AMANDA_PLAN_CACHE_SIZE``, default 64) — LRU
+  bound on the per-session compiled-plan cache.  Long-lived sessions that
+  cycle through many distinct fetch sets evict the least recently used
+  plan instead of accumulating entries without bound.
 """
 
 from __future__ import annotations
@@ -26,7 +37,8 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-__all__ = ["Config", "config", "num_workers", "effect_analysis"]
+__all__ = ["Config", "config", "num_workers", "effect_analysis",
+           "arena_reuse", "plan_cache_size"]
 
 
 def _parse_workers(value: str | int | None, default: int = 1) -> int:
@@ -60,6 +72,17 @@ def _parse_flag(value: str | bool | None, default: bool = True) -> bool:
     return default
 
 
+def _parse_bound(value: str | int | None, default: int) -> int:
+    """Parse a positive cache bound; invalid or missing keeps the default."""
+    if value is None:
+        return default
+    try:
+        bound = int(value)
+    except (TypeError, ValueError):
+        return default
+    return max(1, bound)
+
+
 class Config:
     """Process-global runtime knobs, env-seeded and scope-overridable."""
 
@@ -71,13 +94,19 @@ class Config:
         self.num_workers = _parse_workers(os.environ.get("AMANDA_NUM_WORKERS"))
         self.effect_analysis = _parse_flag(
             os.environ.get("AMANDA_EFFECT_ANALYSIS"))
+        self.arena_reuse = _parse_flag(os.environ.get("AMANDA_ARENA"),
+                                       default=False)
+        self.plan_cache_size = _parse_bound(
+            os.environ.get("AMANDA_PLAN_CACHE_SIZE"), default=64)
 
     def set_num_workers(self, workers: int | str) -> None:
         self.num_workers = _parse_workers(workers)
 
     def __repr__(self) -> str:
         return (f"Config(num_workers={self.num_workers}, "
-                f"effect_analysis={self.effect_analysis})")
+                f"effect_analysis={self.effect_analysis}, "
+                f"arena_reuse={self.arena_reuse}, "
+                f"plan_cache_size={self.plan_cache_size})")
 
 
 #: process-global configuration instance (``amanda.config``)
@@ -104,3 +133,25 @@ def effect_analysis(enabled: bool):
         yield config
     finally:
         config.effect_analysis = previous
+
+
+@contextmanager
+def arena_reuse(enabled: bool):
+    """Scope-override the buffer-arena knob (``amanda.arena_reuse(True)``)."""
+    previous = config.arena_reuse
+    config.arena_reuse = _parse_flag(enabled, default=False)
+    try:
+        yield config
+    finally:
+        config.arena_reuse = previous
+
+
+@contextmanager
+def plan_cache_size(bound: int):
+    """Scope-override the plan-cache LRU bound."""
+    previous = config.plan_cache_size
+    config.plan_cache_size = _parse_bound(bound, default=previous)
+    try:
+        yield config
+    finally:
+        config.plan_cache_size = previous

@@ -82,7 +82,10 @@ def plan_levels(plan: list["Operation"],
     serialization edges beyond the graph's own data/control edges — the race
     analysis (:mod:`repro.analysis.effects`) uses it to barrier-separate
     effect-conflicting op pairs without mutating the (finalized) graph.
-    Every extra predecessor must precede its op in ``plan``.
+    Every extra predecessor must precede its op in ``plan``; a predecessor
+    that does not (a typo'd or stale serialization edge) raises
+    :class:`ValueError` — silently dropping it would silently drop the race
+    protection it encodes.
     """
     level: dict[str, int] = {}
     levels: list[list[Operation]] = []
@@ -95,8 +98,11 @@ def plan_levels(plan: list["Operation"],
         if extra_deps:
             for name in extra_deps.get(op.name, ()):
                 prior = level.get(name)
-                if prior is not None:
-                    depth = max(depth, prior + 1)
+                if prior is None:
+                    raise ValueError(
+                        f"extra_deps predecessor {name!r} of op "
+                        f"{op.name!r} does not precede it in the plan")
+                depth = max(depth, prior + 1)
         level[op.name] = depth
         if depth == len(levels):
             levels.append([])
@@ -176,22 +182,47 @@ class Operation:
 
 
 class VariableStore:
-    """Mutable storage for variable values, shared across graph instances."""
+    """Mutable storage for variable values, shared across graph instances.
+
+    The store also tracks the identity of every array it holds (``owns``),
+    so the executor's allocation accounting can recognize op outputs that
+    *alias* stored state — a ``Variable`` read returns the stored array
+    itself — instead of counting them as freshly allocated activation bytes.
+    """
 
     def __init__(self) -> None:
         self._values: dict[str, np.ndarray] = {}
+        self._array_ids: dict[int, str] = {}
+
+    def _forget(self, name: str) -> None:
+        old = self._values.get(name)
+        if old is not None:
+            self._array_ids.pop(id(old), None)
 
     def create(self, name: str, value: np.ndarray) -> None:
-        self._values[name] = np.array(value, dtype=np.float64)
+        self._forget(name)
+        arr = np.array(value, dtype=np.float64)
+        self._values[name] = arr
+        self._array_ids[id(arr)] = name
 
     def read(self, name: str) -> np.ndarray:
         return self._values[name]
 
     def write(self, name: str, value: np.ndarray) -> None:
-        self._values[name] = np.asarray(value)
+        self._forget(name)
+        arr = np.asarray(value)
+        self._values[name] = arr
+        self._array_ids[id(arr)] = name
 
     def update_in_place(self, name: str, fn) -> None:
-        self._values[name] = fn(self._values[name])
+        new = fn(self._values[name])
+        self._forget(name)
+        self._values[name] = new
+        self._array_ids[id(new)] = name
+
+    def owns(self, array) -> bool:
+        """Whether ``array`` is one of the store's value arrays."""
+        return id(array) in self._array_ids
 
     def names(self) -> list[str]:
         return sorted(self._values)

@@ -7,8 +7,12 @@ the original ones".  This module implements both halves:
 
 * :func:`fuse_graph` — a TVM/Grappler-flavoured optimization pass that fuses
   ``Conv2D(+BiasAdd)(+Relu)`` and ``MatMul(+BiasAdd)(+Relu)`` chains into
-  single ``FusedConv2D``/``FusedMatMul`` operators (whenever the intermediate
-  values have no other consumers and are not fetched);
+  single ``FusedConv2D``/``FusedMatMul`` operators, and linear **elementwise
+  chains** (``Add``/``Sub``/``Mul``/``RealDiv``/``Neg``/``Square``/``Sqrt``/
+  ``Relu``/``Tanh`` — e.g. a residual block's ``Add -> Relu``) into a single
+  ``FusedElementwise`` op that replays the chain in-place over one buffer
+  (whenever the intermediate values have no other consumers and are not
+  fetched);
 * the **fusion provenance** record: every fused op carries
   ``tags["fused_from"]`` — the ordered list of original op types — which the
   standard mapping tool surfaces as ``context["fused_types"]`` so
@@ -35,10 +39,12 @@ def _compute_fused_conv(op, inputs, runtime):
     wc = np.ascontiguousarray(np.transpose(w, (3, 2, 0, 1)))
     out = K.conv2d_forward(xc, wc, op.attrs["strides"], op.attrs["padding"])
     out = np.ascontiguousarray(np.transpose(out, (0, 2, 3, 1)))
+    # the epilogue stages run in place on the (private) conv result: same
+    # ufuncs in the same order, so the bits match the unfused chain
     if op.attrs.get("has_bias"):
-        out = launch("bias_add", np.add, out, inputs[2])
+        out = launch("bias_add", np.add, out, inputs[2], out=out)
     if op.attrs.get("has_relu"):
-        out = K.relu(out)
+        out = K.relu(out, out=out)
     return (out,)
 
 
@@ -46,10 +52,83 @@ def _compute_fused_conv(op, inputs, runtime):
 def _compute_fused_matmul(op, inputs, runtime):
     out = K.matmul(inputs[0], inputs[1])
     if op.attrs.get("has_bias"):
-        out = launch("bias_add", np.add, out, inputs[2])
+        out = launch("bias_add", np.add, out, inputs[2], out=out)
     if op.attrs.get("has_relu"):
-        out = K.relu(out)
+        out = K.relu(out, out=out)
     return (out,)
+
+
+#: elementwise op types a FusedElementwise chain may absorb.  Each entry
+#: replays the exact kernel launch of the unfused compute, so fused
+#: execution produces bit-identical values *and* kernel event streams.
+_EWISE_UNARY = ("Neg", "Square", "Sqrt", "Relu", "Tanh")
+_EWISE_BINARY = ("Add", "Sub", "Mul", "RealDiv")
+_EWISE_BINARY_KERNELS = {
+    "Add": ("ewise_add", np.add),
+    "Sub": ("ewise_sub", np.subtract),
+    "Mul": ("ewise_mul", np.multiply),
+    "RealDiv": ("ewise_div", np.divide),
+}
+
+
+def _apply_ewise(op_type, a, b=None, out=None):
+    if op_type == "Relu":
+        return launch("relu", np.maximum, a, 0.0, out=out)
+    if op_type == "Square":
+        return launch("ewise_mul", np.multiply, a, a, out=out)
+    if op_type == "Neg":
+        return launch("ewise_neg", np.negative, a, out=out)
+    if op_type == "Sqrt":
+        return launch("ewise_sqrt", np.sqrt, a, out=out)
+    if op_type == "Tanh":
+        return launch("tanh", np.tanh, a, out=out)
+    name, fn = _EWISE_BINARY_KERNELS[op_type]
+    return launch(name, fn, a, b, out=out)
+
+
+def _reusable(value, shape) -> bool:
+    """Whether the chain value can serve as the next stage's out-buffer."""
+    return (isinstance(value, np.ndarray) and value.dtype == np.float64
+            and value.shape == shape)
+
+
+@register_compute("FusedElementwise")
+def _compute_fused_elementwise(op, inputs, runtime):
+    """Replay the absorbed chain over a single rolling buffer.
+
+    ``attrs["chain"]`` is a tuple of ``(op_type, side)`` links: ``side`` is
+    ``None`` for the head and for unary links, and for a binary link names
+    which operand position the chain value feeds (the other operand is the
+    next external input).  The head writes into a fresh (or arena) buffer;
+    every later link runs in place on it when shape/dtype allow, so an
+    N-op chain costs one intermediate instead of N.
+    """
+    from .builder import _pool_out
+    chain = op.attrs["chain"]
+    head_type, _ = chain[0]
+    if head_type in _EWISE_BINARY_KERNELS:
+        operands = (inputs[0], inputs[1])
+        pos = 2
+    else:
+        operands = (inputs[0],)
+        pos = 1
+    value = _apply_ewise(head_type, *operands,
+                         out=_pool_out(runtime, *operands))
+    for op_type, side in chain[1:]:
+        if op_type in _EWISE_BINARY_KERNELS:
+            other = inputs[pos]
+            pos += 1
+            a, b = (value, other) if side == 0 else (other, value)
+            shape = np.broadcast_shapes(np.shape(a), np.shape(b))
+            ok = _reusable(value, shape) and (
+                not isinstance(other, np.ndarray)
+                or other.dtype == np.float64)
+            out = value if ok else _pool_out(runtime, a, b)
+            value = _apply_ewise(op_type, a, b, out=out)
+        else:
+            out = value if _reusable(value, np.shape(value)) else None
+            value = _apply_ewise(op_type, value, out=out)
+    return (value,)
 
 
 _FUSABLE_HEADS = {"Conv2D": "FusedConv2D", "MatMul": "FusedMatMul"}
@@ -135,6 +214,70 @@ def fuse_graph(graph: Graph,
                     candidate.inputs[index] = fused.outputs[0]
         for link in chain:
             consumed.add(link.name)
+        clone.version += 1
+
+    # -- elementwise chains: Add/Sub/Mul/.../Relu runs of length >= 2 ---------
+    control_targets = {dep.name for candidate in clone.operations
+                       for dep in candidate.control_inputs}
+
+    def _chainable(candidate: Operation) -> bool:
+        return ((candidate.type in _EWISE_UNARY
+                 or candidate.type in _EWISE_BINARY)
+                and len(candidate.outputs) == 1
+                and candidate.name not in consumed
+                and candidate.name not in protected
+                and candidate.name not in control_targets)
+
+    def _is_extension(producer: Operation, candidate: Operation) -> bool:
+        # candidate will be absorbed into producer's chain instead
+        return (_chainable(producer)
+                and _single_consumer(clone, producer) is candidate)
+
+    for op in list(clone.operations):
+        if not _chainable(op):
+            continue
+        if any(_is_extension(edge.op, op) for edge in op.inputs):
+            continue  # mid-chain: the head's walk will absorb it
+        chain = [op]
+        spec: list[tuple[str, int | None]] = [(op.type, None)]
+        external = list(op.inputs)
+        cursor = op
+        while True:
+            nxt = _single_consumer(clone, cursor)
+            if nxt is None or not _chainable(nxt):
+                break
+            if nxt.type in _EWISE_BINARY:
+                feeds0 = nxt.inputs[0].op is cursor
+                feeds1 = nxt.inputs[1].op is cursor
+                if feeds0 and feeds1:
+                    break  # both operands come from the chain value
+                side = 0 if feeds0 else 1
+                spec.append((nxt.type, side))
+                external.append(nxt.inputs[1 - side])
+            else:
+                spec.append((nxt.type, None))
+            chain.append(nxt)
+            cursor = nxt
+        if len(chain) < 2:
+            continue
+        clone._internal_mutation = True
+        try:
+            fused = clone.add_op("FusedElementwise", external,
+                                 {"chain": tuple(spec)},
+                                 name=f"{chain[0].name}_ewfused")
+        finally:
+            clone._internal_mutation = False
+        fused.tags["fused_from"] = [link.type for link in chain]
+        fused.tags["fused_names"] = [link.name for link in chain]
+        report[fused.name] = [link.type for link in chain]
+        tail_output = cursor.outputs[0]
+        for candidate in clone.operations:
+            if candidate is fused:
+                continue
+            for index, edge in enumerate(candidate.inputs):
+                if edge is tail_output:
+                    candidate.inputs[index] = fused.outputs[0]
+        consumed.update(link.name for link in chain)
         clone.version += 1
 
     # drop the now-dead chain ops (no consumers, not protected)

@@ -13,7 +13,8 @@ on:
   ``run_interceptor`` seam to swap in an instrumented graph (graph switching,
   Sec. 5.3).
 
-Two executors share the compiled plan (see DESIGN.md, "Parallel execution"):
+Two executors share the compiled plan (see DESIGN.md, "Parallel execution"
+and "Slot-table execution and arena reuse"):
 
 * the **serial** executor walks the topological plan in order and keeps every
   intermediate alive until the run ends — the reference semantics;
@@ -22,6 +23,16 @@ Two executors share the compiled plan (see DESIGN.md, "Parallel execution"):
   each level across a thread pool (numpy/BLAS release the GIL on the hot
   kernels), releasing every intermediate at its statically-computed last-use
   level so the runtime memory peak tracks the static liveness estimate.
+
+Both executors move values through an integer-indexed **slot table** assigned
+at plan-compile time (one stable slot id per op output) instead of name-keyed
+dicts, so the per-op framework overhead is a couple of list indexings.  With
+``amanda.config.arena_reuse`` on (env ``AMANDA_ARENA``) freed intermediates
+additionally return to a size-bucketed :class:`repro.eager.alloc.Arena` at
+their last use — per-op last-use *steps* for the serial path, last-use levels
+for the wavefront path — and elementwise computes write into recycled
+buffers, so steady-state runs stop allocating.  Results stay bit-identical;
+fetched arena buffers are copied out before the pool recycles them.
 
 Parallel eligibility is decided by the static effect system
 (:mod:`repro.analysis.effects`): plan compilation runs the race detector,
@@ -42,6 +53,7 @@ why a fallback happened, and every serialized op with its conflict reason.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
@@ -81,9 +93,31 @@ class RunContext:
 class _Runtime:
     """Per-run evaluation state handed to compute functions."""
 
-    def __init__(self, feeds: dict[str, np.ndarray], variables: VariableStore):
+    def __init__(self, feeds: dict[str, np.ndarray], variables: VariableStore,
+                 arena: alloc.Arena | None = None):
         self.feeds = feeds
         self.variables = variables
+        self.arena = arena
+
+    def ewise_out(self, *operands) -> np.ndarray | None:
+        """A recycled output buffer for an elementwise kernel, or ``None``.
+
+        Returns an arena buffer shaped like the broadcast of ``operands``
+        when the arena is on and every operand is a float64 ndarray (so the
+        kernel's result dtype is unchanged); ``None`` otherwise — numpy
+        ufuncs treat ``out=None`` as "allocate fresh", so computes can pass
+        the result through unconditionally.  Safe from wavefront workers.
+        """
+        arena = self.arena
+        if arena is None:
+            return None
+        shapes = []
+        for value in operands:
+            if not (isinstance(value, np.ndarray)
+                    and value.dtype == np.float64):
+                return None
+            shapes.append(value.shape)
+        return arena.acquire(np.broadcast_shapes(*shapes))
 
 
 #: op types whose compute writes the shared variable store — under the
@@ -144,9 +178,19 @@ class CompiledPlan:
     effect-conflicting op pairs land in different levels and the barrier
     between levels orders them like the serial executor would.
 
+    Compilation also lowers the plan onto an integer-indexed **slot table**:
+    every op output gets a stable slot id (``slot_base[name] + output
+    index``), ``input_slots[i]`` holds the slot ids op ``i`` reads and
+    ``output_base[i]`` where it publishes, so the executors never touch a
+    name-keyed dict on the hot path.
+
     ``release_after_level[L]`` lists the ops whose outputs see their last
     consumer in level ``L`` (fetched ops are never listed), so the wavefront
-    executor can free each intermediate at its statically computed last use.
+    executor can free each intermediate at its statically computed last use;
+    ``release_levels``/``release_after_step`` are the same lifetimes lowered
+    to op indices — per wavefront level and per serial *step* (the serial
+    executor uses the latter only in arena mode; without the arena it keeps
+    every intermediate alive, the reference semantics).
     ``serial_only_reason`` names the first effect-opaque op (which makes the
     analysis — and therefore parallel execution — unsound), or ``None`` when
     the plan is wavefront-eligible.  ``legacy_serial_reason`` preserves the
@@ -160,7 +204,10 @@ class CompiledPlan:
     """
 
     __slots__ = ("ops", "levels", "position", "release_after_level",
-                 "races", "serial_only_reason", "legacy_serial_reason")
+                 "races", "serial_only_reason", "legacy_serial_reason",
+                 "num_slots", "slot_base", "input_slots", "output_base",
+                 "computes", "level_indices", "release_levels",
+                 "release_after_step")
 
     def __init__(self, ops: list[Operation], fetch_ops: tuple[str, ...]):
         # lazy import: the analysis package sits above the graph core in the
@@ -184,6 +231,42 @@ class CompiledPlan:
                 self.release_after_level[last_level[op.name]].append(op.name)
         self.serial_only_reason = self.races.serial_only_reason
         self.legacy_serial_reason = self._classify_legacy(ops)
+
+        # -- slot table: one stable integer slot per op output --------------
+        self.slot_base: dict[str, int] = {}
+        next_slot = 0
+        for op in ops:
+            self.slot_base[op.name] = next_slot
+            next_slot += len(op.outputs)
+        self.num_slots = next_slot
+        self.input_slots: list[tuple[int, ...]] = [
+            tuple(self.slot_base[edge.op.name] + edge.index
+                  for edge in op.inputs)
+            for op in ops]
+        self.output_base: list[int] = [self.slot_base[op.name] for op in ops]
+        # compute callables resolved once at compile time; a None entry
+        # (op type registered after this plan compiled) falls back to a
+        # registry lookup at execution
+        self.computes: list = [COMPUTE.get(op.type) for op in ops]
+        self.level_indices: list[tuple[int, ...]] = [
+            tuple(self.position[op.name] for op in level)
+            for level in self.levels]
+        self.release_levels: list[tuple[int, ...]] = [
+            tuple(self.position[name] for name in names)
+            for names in self.release_after_level]
+        # serial last-use steps: an op's outputs die once the last op that
+        # reads them has executed (its own step when nothing reads them)
+        last_step = {op.name: i for i, op in enumerate(ops)}
+        for i, op in enumerate(ops):
+            for edge in op.inputs:
+                if last_step[edge.op.name] < i:
+                    last_step[edge.op.name] = i
+        steps: list[list[int]] = [[] for _ in ops]
+        for op in ops:
+            if op.name not in fetched:
+                steps[last_step[op.name]].append(self.position[op.name])
+        self.release_after_step: list[tuple[int, ...]] = [
+            tuple(step) for step in steps]
 
     @staticmethod
     def _classify_legacy(ops: list[Operation]) -> str | None:
@@ -217,9 +300,12 @@ class Session:
     def __init__(self, graph: Graph, hooks: list[SessionRunHook] | None = None):
         self.graph = graph
         self.hooks: list[SessionRunHook] = list(hooks or [])
-        self._plan_cache: dict[tuple, CompiledPlan] = {}
+        #: LRU-ordered plan cache, bounded by ``config.plan_cache_size``
+        self._plan_cache: OrderedDict[tuple, CompiledPlan] = OrderedDict()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
+        #: lazily-created buffer arena (``config.arena_reuse``)
+        self._arena: alloc.Arena | None = None
         self.run_count = 0
         self.last_run_seconds = 0.0
         #: whether the most recent run used the wavefront executor
@@ -288,6 +374,7 @@ class Session:
         key = graph.fingerprint() + (fetch_ops,)
         compiled = self._plan_cache.get(key)
         if compiled is not None:
+            self._plan_cache.move_to_end(key)
             return compiled
         # evict plans compiled for earlier versions of this same graph: the
         # rewriter mutates instrumented copies across tool epochs, and stale
@@ -299,13 +386,23 @@ class Session:
         plan = topo_plan([graph.get_operation(name) for name in fetch_ops])
         compiled = CompiledPlan(plan, fetch_ops)
         self._plan_cache[key] = compiled
+        # distinct fetch tuples (and distinct graphs) are evicted LRU-first:
+        # a long-lived session cycling fetch sets stays bounded
+        bound = max(1, config.plan_cache_size)
+        while len(self._plan_cache) > bound:
+            self._plan_cache.popitem(last=False)
         return compiled
 
     def _run_impl(self, graph: Graph, fetches: list[GraphTensor],
                   feed: dict[str, np.ndarray]) -> list[np.ndarray]:
         start = time.perf_counter()
         compiled = self._plan(graph, tuple(t.op.name for t in fetches))
-        runtime = _Runtime(feed, graph.variables)
+        arena = None
+        if config.arena_reuse:
+            if self._arena is None:
+                self._arena = alloc.Arena()
+            arena = self._arena
+        runtime = _Runtime(feed, graph.variables, arena)
         workers = config.num_workers
         self.last_run_parallel = False
         report = SerializationReport("serial")
@@ -333,30 +430,71 @@ class Session:
     # -- serial executor (reference semantics) --------------------------------
     def _run_serial(self, compiled: CompiledPlan, fetches: list[GraphTensor],
                     runtime: _Runtime) -> list[np.ndarray]:
-        values: dict[str, tuple] = {}
-        allocated: list[tuple[int, str]] = []
+        slots: list = [None] * compiled.num_slots
+        live: list[tuple[int, str] | None] = [None] * len(compiled.ops)
+        arena = runtime.arena
+        variables = runtime.variables
         tag_kernels = kernel_runtime.has_subscribers
+        # the per-op body is _execute_op inlined (and its locals hoisted):
+        # a serial run pays this loop once per op, and the call overhead
+        # alone outweighs the slot table's win on small kernels
+        computes = compiled.computes
+        input_slots = compiled.input_slots
+        output_base = compiled.output_base
+        allocate = alloc.tracker.allocate
         try:
-            for op in compiled.ops:
-                outputs, nbytes, _ = self._execute_op(op, values, runtime,
-                                                      tag_kernels, defer=False)
-                values[op.name] = outputs
-                scope = alloc.tracker.allocate(
-                    nbytes, scope=op.tags.get("alloc_scope"))
-                allocated.append((nbytes, scope))
-            return [values[t.op.name][t.index] for t in fetches]
+            for index, op in enumerate(compiled.ops):
+                compute = computes[index]
+                if compute is None:
+                    compute = COMPUTE.get(op.type)
+                    if compute is None:
+                        raise NotImplementedError(
+                            f"no compute for op type {op.type!r}")
+                    computes[index] = compute
+                inputs = [slots[slot] for slot in input_slots[index]]
+                if tag_kernels:
+                    kernel_runtime.push_tag(f"{op.type}|{op.name}")
+                    try:
+                        outputs = compute(op, inputs, runtime)
+                    finally:
+                        kernel_runtime.pop_tag()
+                else:
+                    outputs = compute(op, inputs, runtime)
+                base = output_base[index]
+                input_ids = {id(value) for value in inputs}
+                nbytes = 0
+                for offset, value in enumerate(outputs):
+                    slots[base + offset] = value
+                    if id(value) in input_ids or variables.owns(value):
+                        continue  # aliased pass-throughs are not fresh
+                    if arena is not None and arena.owns(value):
+                        continue  # pooled: accounted at arena growth time
+                    nbytes += np.asarray(value).nbytes
+                scope = allocate(nbytes, scope=op.tags.get("alloc_scope"))
+                live[index] = (nbytes, scope)
+                if arena is not None:
+                    for value in outputs:
+                        arena.adopt(value)
+                    self._flush_arena_growth(arena)
+                    # per-op last-use release: only in arena mode — without
+                    # it the serial executor keeps every intermediate alive
+                    # until the run ends (the reference semantics)
+                    for released in compiled.release_after_step[index]:
+                        self._release_op(released, compiled, slots, live,
+                                         arena)
+            return self._extract(compiled, fetches, slots, arena)
         finally:
             # an op failure (e.g. a raising instrumentation callback inside a
             # PyCall) must not leak the run's live-tensor accounting
-            for nbytes, scope in allocated:
-                alloc.tracker.release(nbytes, scope)
+            self._release_remaining(compiled, slots, live, arena)
 
     # -- wavefront executor (level-parallel, liveness-driven release) ----------
     def _run_wavefront(self, compiled: CompiledPlan,
                        fetches: list[GraphTensor], runtime: _Runtime,
                        workers: int) -> list[np.ndarray]:
-        values: dict[str, tuple] = {}
-        live: dict[str, tuple[int, str]] = {}
+        slots: list = [None] * compiled.num_slots
+        live: list[tuple[int, str] | None] = [None] * len(compiled.ops)
+        arena = runtime.arena
         tag_kernels = kernel_runtime.has_subscribers
         # deferred kernel events, indexed by plan position: delivered post-run
         # sorted by plan position, so profiler output is bit-identical to a
@@ -365,52 +503,108 @@ class Session:
             [None] * len(compiled.ops) if tag_kernels else None
         executor = self._ensure_executor(workers)
         try:
-            for index, level in enumerate(compiled.levels):
-                if len(level) == 1:
-                    outcomes = [self._execute_op(level[0], values, runtime,
-                                                 tag_kernels, defer=True)]
+            for index, indices in enumerate(compiled.level_indices):
+                if len(indices) == 1:
+                    outcomes = [self._execute_op(indices[0], compiled, slots,
+                                                 runtime, tag_kernels,
+                                                 defer=True)]
                 else:
                     outcomes = list(executor.map(
-                        lambda op: self._execute_op(op, values, runtime,
-                                                    tag_kernels, defer=True),
-                        level))
+                        lambda i: self._execute_op(i, compiled, slots,
+                                                   runtime, tag_kernels,
+                                                   defer=True),
+                        indices))
                 # bookkeeping is sequential, on the submitting thread: value
                 # publication, allocation accounting and early release never
                 # race with the workers (which only compute)
-                for op, (outputs, nbytes, events) in zip(level, outcomes):
-                    values[op.name] = outputs
+                for op_index, (outputs, nbytes, events) in zip(indices,
+                                                               outcomes):
+                    op = compiled.ops[op_index]
+                    base = compiled.output_base[op_index]
+                    for offset, value in enumerate(outputs):
+                        slots[base + offset] = value
                     scope = alloc.tracker.allocate(
                         nbytes, scope=op.tags.get("alloc_scope"))
-                    live[op.name] = (nbytes, scope)
+                    live[op_index] = (nbytes, scope)
+                    if arena is not None:
+                        for value in outputs:
+                            arena.adopt(value)
                     if events is not None:
-                        event_lists[compiled.position[op.name]] = events
-                for name in compiled.release_after_level[index]:
-                    values.pop(name, None)
-                    entry = live.pop(name, None)
-                    if entry is not None:
-                        alloc.tracker.release(*entry)
+                        event_lists[op_index] = events
+                if arena is not None:
+                    self._flush_arena_growth(arena)
+                for op_index in compiled.release_levels[index]:
+                    self._release_op(op_index, compiled, slots, live, arena)
             if event_lists is not None:
                 kernel_runtime.deliver(
                     [event for events in event_lists if events
                      for event in events])
-            return [values[t.op.name][t.index] for t in fetches]
+            return self._extract(compiled, fetches, slots, arena)
         finally:
-            for nbytes, scope in live.values():
-                alloc.tracker.release(nbytes, scope)
+            self._release_remaining(compiled, slots, live, arena)
 
-    def _execute_op(self, op: Operation, values: dict, runtime: _Runtime,
-                    tag_kernels: bool, defer: bool):
+    # -- shared executor plumbing ----------------------------------------------
+    @staticmethod
+    def _flush_arena_growth(arena: alloc.Arena) -> None:
+        """Account arena growth with the tracker (submitting thread only)."""
+        grown = arena.take_growth_bytes()
+        if grown:
+            alloc.tracker.allocate(grown, scope="dnn")
+
+    @staticmethod
+    def _release_op(index: int, compiled: CompiledPlan, slots: list,
+                    live: list, arena: alloc.Arena | None) -> None:
+        """Free op ``index``'s accounting entry and slot values."""
+        entry = live[index]
+        if entry is not None:
+            alloc.tracker.release(*entry)
+            live[index] = None
+        base = compiled.output_base[index]
+        for slot in range(base, base + len(compiled.ops[index].outputs)):
+            value = slots[slot]
+            if value is not None and arena is not None:
+                arena.release(value)
+            slots[slot] = None
+
+    def _release_remaining(self, compiled: CompiledPlan, slots: list,
+                           live: list, arena: alloc.Arena | None) -> None:
+        for index in range(len(compiled.ops)):
+            self._release_op(index, compiled, slots, live, arena)
+        if arena is not None:
+            # buffers a failed compute acquired but never published
+            arena.reclaim_unadopted()
+            self._flush_arena_growth(arena)
+
+    @staticmethod
+    def _extract(compiled: CompiledPlan, fetches: list[GraphTensor],
+                 slots: list, arena: alloc.Arena | None) -> list[np.ndarray]:
+        results = []
+        for t in fetches:
+            value = slots[compiled.slot_base[t.op.name] + t.index]
+            if arena is not None and arena.owns(value):
+                # detach the result before the pool recycles its buffer
+                value = np.array(value)
+            results.append(value)
+        return results
+
+    def _execute_op(self, index: int, compiled: CompiledPlan, slots: list,
+                    runtime: _Runtime, tag_kernels: bool, defer: bool):
         """Run one op; returns ``(outputs, fresh bytes, deferred events)``.
 
-        Thread-safe for parallel-eligible plans: reads of ``values`` only
+        Thread-safe for parallel-eligible plans: reads of ``slots`` only
         touch entries published by earlier levels, the kernel runtime's tag
         stack is per-thread, and with ``defer`` the op's kernel events are
         captured instead of delivered inline.
         """
-        compute = COMPUTE.get(op.type)
+        op = compiled.ops[index]
+        compute = compiled.computes[index]
         if compute is None:
-            raise NotImplementedError(f"no compute for op type {op.type!r}")
-        inputs = [values[edge.op.name][edge.index] for edge in op.inputs]
+            compute = COMPUTE.get(op.type)
+            if compute is None:
+                raise NotImplementedError(
+                    f"no compute for op type {op.type!r}")
+            compiled.computes[index] = compute
+        inputs = [slots[slot] for slot in compiled.input_slots[index]]
         events: list | None = None
         if tag_kernels:
             kernel_runtime.push_tag(f"{op.type}|{op.name}")
@@ -426,16 +620,58 @@ class Session:
         else:
             outputs = compute(op, inputs, runtime)
         input_ids = {id(v) for v in inputs}
-        nbytes = sum(np.asarray(o).nbytes for o in outputs
-                     if id(o) not in input_ids)  # skip aliased pass-throughs
+        arena = runtime.arena
+        variables = runtime.variables
+        nbytes = 0
+        for o in outputs:
+            if id(o) in input_ids or variables.owns(o):
+                # aliased pass-throughs and store-backed reads (a Variable
+                # compute returns the stored array itself) are not fresh
+                continue
+            if arena is not None and arena.owns(o):
+                continue  # pooled buffers are accounted at arena growth time
+            nbytes += np.asarray(o).nbytes
         return outputs, nbytes, events
 
     def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
         """The session's (lazily created, size-keyed) worker pool."""
         if self._executor is None or self._executor_workers != workers:
             if self._executor is not None:
-                self._executor.shutdown(wait=False)
+                self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="amanda-wavefront")
             self._executor_workers = workers
         return self._executor
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool, pooled arena buffers and cached plans.
+
+        Idempotent; the session stays usable afterwards (the pool and arena
+        are recreated lazily on the next run).  Prefer the context-manager
+        form: ``with Session(graph) as sess: ...``.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._executor_workers = 0
+        if self._arena is not None:
+            freed = self._arena.drain()
+            if freed:
+                alloc.tracker.release(freed, "dnn")
+            self._arena = None
+        self._plan_cache.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            # interpreter teardown may have dismantled our dependencies
+            pass

@@ -374,8 +374,8 @@ def layer_norm_backward(grad_out, cache):
 # activations / softmax
 # ---------------------------------------------------------------------------
 
-def relu(x):
-    return launch("relu", np.maximum, x, 0.0)
+def relu(x, out=None):
+    return launch("relu", np.maximum, x, 0.0, out=out)
 
 
 def relu_backward(grad_out, x):

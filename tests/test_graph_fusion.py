@@ -137,3 +137,121 @@ class TestInstrumentationOnFusedGraphs:
                                   rng.standard_normal((1, 8, 8, 3))})
         assert standalone_relus == []  # point removed by the compiler
         assert len(fused_relus) == 1   # ...but recoverable via provenance
+
+
+class TestElementwiseFusion:
+    """Linear elementwise chains collapse into one FusedElementwise op."""
+
+    @pytest.fixture
+    def ewise_net(self, rng):
+        # square(x) -> add(., y) -> tanh: a 3-op linear chain
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            y = gb.placeholder(name="y")
+            out = gb.tanh(gb.square(x) + y)
+            final = gb.reduce_sum(out)
+        return g, x, y, final
+
+    def test_chain_detected(self, rng, ewise_net):
+        g, x, y, final = ewise_net
+        fused, report = fuse_graph(g, protected={final.op.name})
+        chains = [c for c in report.values() if c == ["Square", "Add", "Tanh"]]
+        assert len(chains) == 1
+        op = next(op for op in fused.operations
+                  if op.type == "FusedElementwise")
+        assert op.attrs["chain"] == (("Square", None), ("Add", 0),
+                                     ("Tanh", None))
+        assert op.tags["fused_from"] == ["Square", "Add", "Tanh"]
+        assert len(op.tags["fused_names"]) == 3
+
+    def test_chain_bitwise_identical(self, rng, ewise_net):
+        g, x, y, final = ewise_net
+        feed = {x: rng.standard_normal((4, 6)),
+                y: rng.standard_normal((4, 6))}
+        reference = G.Session(g).run(final, feed)
+        fused, _ = fuse_graph(g, protected={final.op.name})
+        got = G.Session(fused).run(
+            fused.get_tensor(final.name),
+            {fused.get_tensor(x.name): feed[x],
+             fused.get_tensor(y.name): feed[y]})
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(reference))
+
+    def test_chain_replays_exact_kernel_events(self, rng, ewise_net):
+        """Fused execution launches the same kernels in the same order."""
+        from repro.kernels.runtime import runtime as kernel_runtime
+        g, x, y, final = ewise_net
+        feed_vals = (rng.standard_normal((3, 4)), rng.standard_normal((3, 4)))
+
+        def kernel_names(graph, fetch, xt, yt):
+            names = []
+            callback = lambda event: names.append(event.name)
+            kernel_runtime.subscribe(callback)
+            try:
+                G.Session(graph).run(fetch, {xt: feed_vals[0],
+                                             yt: feed_vals[1]})
+            finally:
+                kernel_runtime.unsubscribe(callback)
+            return names
+
+        unfused = kernel_names(g, final, x, y)
+        fused, _ = fuse_graph(g, protected={final.op.name})
+        refused = kernel_names(fused, fused.get_tensor(final.name),
+                               fused.get_tensor(x.name),
+                               fused.get_tensor(y.name))
+        assert refused == unfused
+
+    def test_resnet_residual_add_relu_fused(self, rng):
+        import repro.models.graph as GM
+        gm = GM.build_resnet()
+        fused, report = fuse_graph(
+            gm.graph, protected={gm.logits.op.name, gm.loss.op.name})
+        residuals = [c for c in report.values() if c == ["Add", "Relu"]]
+        assert residuals, "resnet residual Add->Relu chains should fuse"
+        feed = {gm.inputs: rng.standard_normal((2, 16, 16, 3)),
+                gm.labels: rng.integers(0, 4, 2)}
+        reference = gm.session().run([gm.logits, gm.loss], feed)
+        got = G.Session(fused).run(
+            [fused.get_tensor(gm.logits.name), fused.get_tensor(gm.loss.name)],
+            {fused.get_tensor(gm.inputs.name): feed[gm.inputs],
+             fused.get_tensor(gm.labels.name): feed[gm.labels]})
+        for expected, actual in zip(reference, got):
+            np.testing.assert_array_equal(np.asarray(expected),
+                                          np.asarray(actual))
+
+    def test_fused_graph_passes_shape_verification(self, rng, ewise_net):
+        from repro.analysis.verify import verify_graph
+        g, x, y, final = ewise_net
+        fused, _ = fuse_graph(g, protected={final.op.name})
+        report = verify_graph(fused, feed_shapes={x.op.name: (4, 6),
+                                                  y.op.name: (4, 6)})
+        assert report.ok
+        ew = next(op for op in fused.operations
+                  if op.type == "FusedElementwise")
+        assert report.shapes[ew.outputs[0].name] == (4, 6)
+
+    def test_multi_consumer_intermediate_blocks_chain(self, rng):
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            mid = gb.square(x)
+            a = gb.tanh(mid)
+            b = gb.sqrt(mid)  # second consumer of mid
+            total = gb.reduce_sum(a + b)
+        fused, report = fuse_graph(g, protected={total.op.name})
+        # mid cannot be absorbed; only single-consumer links fuse
+        assert all("Square" not in chain or len(chain) == 1
+                   or chain[0] != "Square"
+                   for chain in report.values()) or report == {}
+        feed = {x: rng.standard_normal((5,)) ** 2}
+        np.testing.assert_array_equal(
+            np.asarray(G.Session(fused).run(
+                fused.get_tensor(total.name),
+                {fused.get_tensor(x.name): feed[x]})),
+            np.asarray(G.Session(g).run(total, feed)))
+
+    def test_protected_tail_not_absorbed(self, rng, ewise_net):
+        g, x, y, final = ewise_net
+        tanh_op = next(op for op in g.operations if op.type == "Tanh")
+        fused, report = fuse_graph(
+            g, protected={final.op.name, tanh_op.name})
+        assert all("Tanh" not in chain for chain in report.values())
+        assert any(op.name == tanh_op.name for op in fused.operations)

@@ -1,0 +1,313 @@
+"""Slot-table execution and arena buffer reuse: equivalence + accounting.
+
+The slot-table executor and the arena pool must be invisible except for
+speed: for every worker count, with the arena on or off, instrumented or
+quarantined, the results are bit-identical to the plain serial dict-era
+semantics.  The arena additionally has to reach a steady state — a second
+run of the same plan performs zero fresh growths — and every byte it holds
+must flow through the allocation tracker and come back out at close.
+"""
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.graph as G
+import repro.models.graph as GM
+from repro.amanda.tools import ExecutionTraceTool
+from repro.eager import alloc
+from repro.eager.alloc import Arena
+from repro.graph import builder as gb
+from repro.tools.faulty import FaultyTool
+
+WORKER_COUNTS = (1, 2, 4)
+
+ZOO = [
+    (GM.build_mlp, (8, 16)),
+    (GM.build_vgg, (2, 16, 16, 3)),
+    (GM.build_resnet, (2, 16, 16, 3)),
+    (GM.build_mobilenet_v2, (2, 16, 16, 3)),
+    (GM.build_inception_v3, (2, 16, 16, 3)),
+]
+
+
+def _zoo_feed(gm, rng, input_shape):
+    return {gm.inputs: rng.standard_normal(input_shape),
+            gm.labels: rng.integers(0, 4, input_shape[0])}
+
+
+def _assert_same(expected, actual):
+    for want, got in zip(expected, actual):
+        np.testing.assert_array_equal(np.asarray(want), np.asarray(got))
+
+
+class TestBitEquivalence:
+    """serial == slot-table == arena-reuse, for every worker count."""
+
+    @pytest.mark.parametrize("builder,input_shape", ZOO)
+    def test_zoo_bitwise_equal_across_modes(self, rng, builder, input_shape):
+        gm = builder()
+        feed = _zoo_feed(gm, rng, input_shape)
+        with gm.session() as sess:
+            baseline = sess.run([gm.logits, gm.loss], feed)
+            for workers in WORKER_COUNTS:
+                for arena_on in (False, True):
+                    with amanda.num_workers(workers), \
+                            amanda.arena_reuse(arena_on):
+                        got = sess.run([gm.logits, gm.loss], feed)
+                        # steady state: run again against the warm pool
+                        again = sess.run([gm.logits, gm.loss], feed)
+                    _assert_same(baseline, got)
+                    _assert_same(baseline, again)
+
+    def test_bert_bitwise_equal_across_modes(self, rng):
+        gm = GM.build_bert()
+        feed = {gm.inputs: rng.integers(0, 32, (2, 16)),
+                gm.labels: np.zeros((2, 16), dtype=int)}
+        with gm.session() as sess:
+            baseline = sess.run([gm.logits, gm.loss], feed)
+            for workers in WORKER_COUNTS:
+                for arena_on in (False, True):
+                    with amanda.num_workers(workers), \
+                            amanda.arena_reuse(arena_on):
+                        got = sess.run([gm.logits, gm.loss], feed)
+                    _assert_same(baseline, got)
+
+    def test_training_trajectory_identical_under_arena(self, rng):
+        inputs = rng.standard_normal((8, 16))
+        labels = rng.integers(0, 4, 8)
+
+        def losses(arena_on):
+            gm = GM.build_mlp()  # fresh parameters for each arm
+            feed = {gm.inputs: inputs, gm.labels: labels}
+            with gm.session() as sess, amanda.arena_reuse(arena_on):
+                return [float(sess.run([gm.loss, gm.train_op], feed)[0])
+                        for _ in range(3)]
+
+        assert losses(False) == losses(True)
+
+    def test_instrumented_run_bitwise_equal(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess:
+            baseline = sess.run([gm.logits, gm.loss], feed)
+            with amanda.apply(ExecutionTraceTool()):
+                for workers in WORKER_COUNTS:
+                    for arena_on in (False, True):
+                        with amanda.num_workers(workers), \
+                                amanda.arena_reuse(arena_on):
+                            got = sess.run([gm.logits, gm.loss], feed)
+                        _assert_same(baseline, got)
+
+    def test_quarantined_run_bitwise_equal(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess:
+            baseline = sess.run([gm.logits, gm.loss], feed)
+            tool = FaultyTool(always=True)
+            with amanda.error_policy("quarantine"), amanda.apply(tool) as mgr:
+                with amanda.arena_reuse(True):
+                    got = sess.run([gm.logits, gm.loss], feed)
+                assert tool.name in mgr.quarantined
+            _assert_same(baseline, got)
+
+
+class TestArenaSteadyState:
+    """The pool converges: repeat runs reuse buffers instead of growing."""
+
+    @pytest.mark.parametrize("builder,input_shape", [
+        (GM.build_mlp, (8, 16)),
+        (GM.build_resnet, (2, 16, 16, 3)),
+    ])
+    def test_zero_fresh_growths_on_second_run(self, rng, builder,
+                                              input_shape):
+        gm = builder()
+        feed = _zoo_feed(gm, rng, input_shape)
+        with gm.session() as sess, amanda.arena_reuse(True):
+            sess.run([gm.logits, gm.loss], feed)
+            arena = sess._arena
+            assert arena is not None and arena.growths > 0
+            growths = arena.growths
+            sess.run([gm.logits, gm.loss], feed)
+            assert arena.growths == growths, \
+                "steady-state run grew the arena"
+            assert arena.reuses > 0
+
+    def test_arena_off_means_no_pool(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess:
+            sess.run([gm.logits, gm.loss], feed)
+            assert sess._arena is None
+
+    def test_fetched_values_survive_pool_recycling(self, rng):
+        # fetched tensors are copied out of the pool, so a later run that
+        # recycles the buffer must not corrupt earlier results
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess:
+            reference = sess.run(gm.logits, feed)
+            with amanda.arena_reuse(True):
+                first = sess.run(gm.logits, feed)
+                snapshot = np.array(first)
+                sess.run(gm.logits,
+                         _zoo_feed(gm, np.random.default_rng(7), (8, 16)))
+            np.testing.assert_array_equal(first, snapshot)
+            np.testing.assert_array_equal(first, np.asarray(reference))
+            assert not sess._arena.owns(first)
+
+
+class TestArenaUnit:
+    """Arena acquire/adopt/release mechanics in isolation."""
+
+    def test_acquire_buckets_to_power_of_two(self):
+        arena = Arena()
+        buf = arena.acquire((3, 5))
+        assert buf.shape == (3, 5) and buf.dtype == np.float64
+        assert arena.growths == 1
+        # 15 elements -> 16-element bucket
+        assert arena.held_bytes == 16 * 8
+
+    def test_release_then_acquire_reuses(self):
+        arena = Arena()
+        buf = arena.acquire((4, 4))
+        arena.adopt(buf)
+        arena.release(buf)
+        again = arena.acquire((2, 8))  # same 16-element bucket
+        assert arena.reuses == 1 and arena.growths == 1
+
+    def test_refcounted_alias_release(self):
+        # two adopters (e.g. an Identity alias) need two releases
+        arena = Arena()
+        buf = arena.acquire((8,))
+        view = buf[:4]
+        arena.adopt(buf)
+        arena.adopt(view)
+        assert arena.owns(view)
+        arena.release(buf)
+        assert arena.acquire((8,)) is not None and arena.reuses == 0
+        arena.release(view)
+        arena.acquire((8,))
+        assert arena.reuses == 1
+
+    def test_unadopted_buffers_reclaimed(self):
+        # a compute that raised never published its output: sweep it back
+        arena = Arena()
+        arena.acquire((8,))
+        arena.reclaim_unadopted()
+        arena.acquire((8,))
+        assert arena.reuses == 1 and arena.growths == 1
+
+    def test_growth_bytes_flushed_once(self):
+        arena = Arena()
+        arena.acquire((8,))
+        assert arena.take_growth_bytes() == 8 * 8
+        assert arena.take_growth_bytes() == 0
+
+    def test_drain_returns_tracked_bytes(self):
+        arena = Arena()
+        buf = arena.acquire((8,))
+        flushed = arena.take_growth_bytes()
+        arena.adopt(buf)
+        arena.release(buf)
+        assert arena.drain() == flushed
+        assert arena.held_bytes == 0
+
+    def test_foreign_arrays_not_owned(self):
+        arena = Arena()
+        foreign = np.zeros(4)
+        assert not arena.owns(foreign)
+        arena.adopt(foreign)  # no-op
+        arena.release(foreign)  # no-op
+        assert arena.stats()["growths"] == 0
+
+
+class TestSessionLifecycle:
+    """close() releases every tracked byte and is idempotent."""
+
+    def test_close_releases_arena_accounting(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        sess = gm.session()
+        with amanda.arena_reuse(True):
+            sess.run([gm.logits, gm.loss], feed)
+        assert alloc.tracker.live.get("dnn", 0) > 0
+        sess.close()
+        assert alloc.tracker.live.get("dnn", 0) == 0
+        sess.close()  # idempotent
+
+    def test_context_manager_closes(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess, amanda.arena_reuse(True):
+            sess.run([gm.logits, gm.loss], feed)
+        assert alloc.tracker.live.get("dnn", 0) == 0
+        assert len(sess._plan_cache) == 0
+
+    def test_variable_aliased_outputs_not_double_counted(self, rng):
+        # an Identity of a Variable returns the variable's own array: the
+        # executor must not charge it to the run's allocation accounting
+        with G.default_graph() as g:
+            v = gb.variable(rng.standard_normal((64,)), name="v")
+            out = gb.identity(v)
+        before = alloc.tracker.live.get("dnn", 0)
+        sess = G.Session(g)
+        value = sess.run(out)
+        assert alloc.tracker.live.get("dnn", 0) == before
+        np.testing.assert_array_equal(value, g.variables.read("v"))
+        sess.close()
+
+
+class TestPlanCacheLRU:
+    """The plan cache is bounded: cycling fetch sets cannot grow it."""
+
+    def test_cache_evicts_beyond_bound(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        fetch_sets = [[gm.logits], [gm.loss], [gm.logits, gm.loss],
+                      [gm.loss, gm.logits]]
+        with gm.session() as sess, amanda.plan_cache_size(2):
+            for _ in range(3):  # cycle to exercise eviction + re-admission
+                for fetches in fetch_sets:
+                    sess.run(fetches, feed)
+                    assert len(sess._plan_cache) <= 2
+
+    def test_lru_keeps_hot_entry(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess, amanda.plan_cache_size(2):
+            sess.run(gm.logits, feed)
+            hot = next(iter(sess._plan_cache))
+            sess.run(gm.loss, feed)
+            sess.run(gm.logits, feed)  # refresh the hot entry
+            sess.run([gm.logits, gm.loss], feed)  # evicts the cold one
+            assert hot in sess._plan_cache
+
+    def test_results_identical_after_eviction(self, rng):
+        gm = GM.build_mlp()
+        feed = _zoo_feed(gm, rng, (8, 16))
+        with gm.session() as sess:
+            want = sess.run(gm.logits, feed)
+            with amanda.plan_cache_size(1):
+                sess.run(gm.loss, feed)  # evicts the logits plan
+                got = sess.run(gm.logits, feed)  # recompiles
+            np.testing.assert_array_equal(np.asarray(want), np.asarray(got))
+
+    def test_env_knob_parsed(self, monkeypatch):
+        monkeypatch.setenv("AMANDA_PLAN_CACHE_SIZE", "7")
+        cfg = amanda.Config()
+        assert cfg.plan_cache_size == 7
+        monkeypatch.setenv("AMANDA_PLAN_CACHE_SIZE", "0")
+        cfg.refresh_from_env()
+        assert cfg.plan_cache_size == 1  # clamped to a sane floor
+
+
+class TestPlanLevelsValidation:
+    def test_missing_extra_dep_predecessor_raises(self):
+        from repro.graph.core import plan_levels, topo_plan
+        with G.default_graph() as g:
+            a = gb.placeholder(name="a")
+            b = gb.square(a)
+        plan = topo_plan([b.op])
+        with pytest.raises(ValueError, match="does not precede"):
+            plan_levels(plan, extra_deps={b.op.name: ("ghost_op",)})
