@@ -19,4 +19,4 @@ Subpackages
 __version__ = "1.0.0"
 
 __all__ = ["amanda", "eager", "graph", "onnx", "tools", "kernels", "models",
-           "data", "baselines", "core", "backends", "train"]
+           "data", "baselines", "core", "backends", "train", "capture"]

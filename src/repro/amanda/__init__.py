@@ -23,8 +23,8 @@ from .. import tools
 # make ``from repro.amanda.tools import ...`` resolve to repro.tools
 _sys.modules[__name__ + ".tools"] = tools
 from ..core.actions import Action, ActionType, IPoint
-from ..core.config import (Config, arena_reuse, config, effect_analysis,
-                           num_workers, plan_cache_size)
+from ..core.config import (Config, arena_reuse, capture_enabled, config,
+                           effect_analysis, num_workers, plan_cache_size)
 from ..core.context import OpContext
 from ..core.faults import (ERROR_POLICIES, InstrumentationError, Provenance)
 from ..core.ids import LinearCongruentialGenerator, OpIdAssigner
@@ -41,5 +41,5 @@ __all__ = [
     "InstrumentationManager", "Interceptor", "LinearCongruentialGenerator",
     "OpIdAssigner", "tools", "error_policy", "InstrumentationError",
     "Provenance", "ERROR_POLICIES", "Config", "config", "num_workers",
-    "effect_analysis", "arena_reuse", "plan_cache_size",
+    "effect_analysis", "arena_reuse", "plan_cache_size", "capture_enabled",
 ]

@@ -30,6 +30,13 @@ Current knobs:
   bound on the per-session compiled-plan cache.  Long-lived sessions that
   cycle through many distinct fetch sets evict the least recently used
   plan instead of accumulating entries without bound.
+* ``capture`` (env ``AMANDA_CAPTURE``, default on) — kill switch for
+  symbolic capture (:mod:`repro.capture`).  A module wrapped with
+  ``capture()`` traces its eager ops into the graph IR and replays them
+  through the compiled :class:`~repro.graph.session.Session`; with the
+  knob off the wrapper becomes a transparent pass-through to plain eager
+  dispatch (no tracing, no guards), which is the safe rollback if a
+  captured workload misbehaves in production.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ import os
 from contextlib import contextmanager
 
 __all__ = ["Config", "config", "num_workers", "effect_analysis",
-           "arena_reuse", "plan_cache_size"]
+           "arena_reuse", "plan_cache_size", "capture_enabled"]
 
 
 def _parse_workers(value: str | int | None, default: int = 1) -> int:
@@ -98,6 +105,7 @@ class Config:
                                        default=False)
         self.plan_cache_size = _parse_bound(
             os.environ.get("AMANDA_PLAN_CACHE_SIZE"), default=64)
+        self.capture = _parse_flag(os.environ.get("AMANDA_CAPTURE"))
 
     def set_num_workers(self, workers: int | str) -> None:
         self.num_workers = _parse_workers(workers)
@@ -106,7 +114,8 @@ class Config:
         return (f"Config(num_workers={self.num_workers}, "
                 f"effect_analysis={self.effect_analysis}, "
                 f"arena_reuse={self.arena_reuse}, "
-                f"plan_cache_size={self.plan_cache_size})")
+                f"plan_cache_size={self.plan_cache_size}, "
+                f"capture={self.capture})")
 
 
 #: process-global configuration instance (``amanda.config``)
@@ -155,3 +164,14 @@ def plan_cache_size(bound: int):
         yield config
     finally:
         config.plan_cache_size = previous
+
+
+@contextmanager
+def capture_enabled(enabled: bool):
+    """Scope-override the symbolic-capture knob (``amanda.capture_enabled``)."""
+    previous = config.capture
+    config.capture = _parse_flag(enabled)
+    try:
+        yield config
+    finally:
+        config.capture = previous

@@ -31,7 +31,7 @@ __all__ = [
     "OpCtx", "OpDef", "BackwardDef", "OpCall", "OpRegistry", "registry",
     "apply_op", "vanilla_apply", "execute_backward_def", "grad_enabled",
     "no_grad", "enable_grad", "unbroadcast", "current_module",
-    "push_module", "pop_module",
+    "push_module", "pop_module", "set_capture_tracer", "get_capture_tracer",
 ]
 
 
@@ -226,12 +226,37 @@ def next_seq() -> int:
 
 
 # ---------------------------------------------------------------------------
+# symbolic-capture tracer seam (repro.capture)
+# ---------------------------------------------------------------------------
+
+#: while non-None, every vanilla forward execution is reported to the tracer
+#: *after* it ran eagerly (concrete tracing: real values flow, the tracer
+#: only records the op stream and array provenance)
+_capture_tracer: Any | None = None
+
+
+def set_capture_tracer(tracer: Any | None) -> None:
+    """Install (or clear, with ``None``) the active capture tracer."""
+    global _capture_tracer
+    _capture_tracer = tracer
+
+
+def get_capture_tracer() -> Any | None:
+    return _capture_tracer
+
+
+# ---------------------------------------------------------------------------
 # forward execution pipeline
 # ---------------------------------------------------------------------------
 
-def apply_op(name: str, *inputs: Any, **attrs: Any):
-    """Execute operator ``name`` on ``inputs`` — the backend's dispatch entry."""
-    opdef = registry.get(name)
+def apply_op(name: str | OpDef, *inputs: Any, **attrs: Any):
+    """Execute operator ``name`` on ``inputs`` — the backend's dispatch entry.
+
+    Accepts either an operator name or an already-resolved :class:`OpDef`
+    (layers/functional memoize the lookup at construction; overrides are
+    patched onto the OpDef in place, so a memoized handle stays current).
+    """
+    opdef = name if isinstance(name, OpDef) else registry.get(name)
     if opdef.call_override is not None:
         return opdef.call_override(opdef, inputs, attrs)
     return vanilla_apply(opdef, inputs, attrs)
@@ -251,7 +276,9 @@ def vanilla_apply(opdef: OpDef, inputs: tuple, attrs: dict,
     the AD-isolation behaviour of Sec. 5.2.
     """
     arrays = tuple(t.data if isinstance(t, Tensor) else t for t in inputs)
-    ctx = OpCtx()
+    # a forward_override never receives the ctx, so skip the allocation on
+    # that path; the autograd node below creates one lazily if needed
+    ctx = OpCtx() if forward_override is None else None
     forward = forward_override or opdef.forward
     tag_kernels = _kernel_runtime.has_subscribers
     if tag_kernels:
@@ -276,6 +303,8 @@ def vanilla_apply(opdef: OpDef, inputs: tuple, attrs: dict,
     )
     if needs_grad:
         from . import autograd
+        if ctx is None:
+            ctx = OpCtx()
         node = autograd.Node(opdef, ctx, grad_sources, outputs, op_call=op_call)
         for out in outputs:
             out.requires_grad = True
@@ -284,6 +313,8 @@ def vanilla_apply(opdef: OpDef, inputs: tuple, attrs: dict,
             op_call.node = node
     if op_call is not None:
         op_call.outputs = outputs
+    if _capture_tracer is not None and forward_override is None:
+        _capture_tracer.record_apply(opdef, inputs, attrs, outputs)
     return outputs if multi else outputs[0]
 
 

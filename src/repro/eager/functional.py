@@ -8,11 +8,11 @@ module-hook-based instrumentation loses coverage (Sec. 6.4).
 
 from __future__ import annotations
 
-from .dispatch import apply_op
+from .dispatch import OpDef, apply_op, registry
 from .tensor import Tensor, as_tensor
 
 __all__ = [
-    "relu", "sigmoid", "tanh", "gelu", "softmax", "log_softmax", "dropout",
+    "resolve", "relu", "sigmoid", "tanh", "gelu", "softmax", "log_softmax", "dropout",
     "linear", "conv2d", "bias_add", "max_pool2d", "avg_pool2d", "batch_norm",
     "layer_norm", "embedding", "matmul", "reshape", "transpose", "concat",
     "cross_entropy", "mse_loss", "flatten", "clip", "abs", "where", "stack",
@@ -20,124 +20,140 @@ __all__ = [
 ]
 
 
+_OPDEFS: dict[str, OpDef] = {}
+
+
+def resolve(name: str) -> OpDef:
+    """Memoized registry lookup for the hot dispatch path.
+
+    Driver overrides are patched onto the ``OpDef`` in place, so a cached
+    handle observes instrumentation installed at any later time; lookups are
+    lazy so importing this module never races operator registration.
+    """
+    opdef = _OPDEFS.get(name)
+    if opdef is None:
+        opdef = _OPDEFS[name] = registry.get(name)
+    return opdef
+
+
 def relu(x: Tensor) -> Tensor:
-    return apply_op("relu", x)
+    return apply_op(resolve("relu"), x)
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    return apply_op("sigmoid", x)
+    return apply_op(resolve("sigmoid"), x)
 
 
 def tanh(x: Tensor) -> Tensor:
-    return apply_op("tanh", x)
+    return apply_op(resolve("tanh"), x)
 
 
 def gelu(x: Tensor) -> Tensor:
-    return apply_op("gelu", x)
+    return apply_op(resolve("gelu"), x)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    return apply_op("softmax", x, axis=axis)
+    return apply_op(resolve("softmax"), x, axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    return apply_op("log_softmax", x, axis=axis)
+    return apply_op(resolve("log_softmax"), x, axis=axis)
 
 
 def dropout(x: Tensor, p: float = 0.5, training: bool = True,
             seed: int | None = None) -> Tensor:
-    return apply_op("dropout", x, p=p, training=training, seed=seed)
+    return apply_op(resolve("dropout"), x, p=p, training=training, seed=seed)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     if bias is None:
-        return apply_op("linear", x, weight)
-    return apply_op("linear", x, weight, bias)
+        return apply_op(resolve("linear"), x, weight)
+    return apply_op(resolve("linear"), x, weight, bias)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride=(1, 1), padding=(0, 0), algorithm: str = "auto") -> Tensor:
-    out = apply_op("conv2d", x, weight, stride=stride, padding=padding,
+    out = apply_op(resolve("conv2d"), x, weight, stride=stride, padding=padding,
                    algorithm=algorithm)
     if bias is not None:
-        out = apply_op("bias_add", out, bias)
+        out = apply_op(resolve("bias_add"), out, bias)
     return out
 
 
 def bias_add(x: Tensor, bias: Tensor) -> Tensor:
-    return apply_op("bias_add", x, bias)
+    return apply_op(resolve("bias_add"), x, bias)
 
 
 def max_pool2d(x: Tensor, kernel=(2, 2), stride=None, padding=(0, 0)) -> Tensor:
-    return apply_op("max_pool2d", x, kernel=kernel, stride=stride, padding=padding)
+    return apply_op(resolve("max_pool2d"), x, kernel=kernel, stride=stride, padding=padding)
 
 
 def avg_pool2d(x: Tensor, kernel=(2, 2), stride=None, padding=(0, 0)) -> Tensor:
-    return apply_op("avg_pool2d", x, kernel=kernel, stride=stride, padding=padding)
+    return apply_op(resolve("avg_pool2d"), x, kernel=kernel, stride=stride, padding=padding)
 
 
 def batch_norm(x, gamma, beta, running_mean, running_var, training=True,
                momentum=0.1, eps=1e-5) -> Tensor:
-    return apply_op("batch_norm", x, gamma, beta, running_mean, running_var,
+    return apply_op(resolve("batch_norm"), x, gamma, beta, running_mean, running_var,
                     training=training, momentum=momentum, eps=eps)
 
 
 def layer_norm(x, gamma, beta, eps=1e-5) -> Tensor:
-    return apply_op("layer_norm", x, gamma, beta, eps=eps)
+    return apply_op(resolve("layer_norm"), x, gamma, beta, eps=eps)
 
 
 def embedding(indices, weight) -> Tensor:
-    return apply_op("embedding", as_tensor(indices), weight)
+    return apply_op(resolve("embedding"), as_tensor(indices), weight)
 
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
-    return apply_op("matmul", a, b)
+    return apply_op(resolve("matmul"), a, b)
 
 
 def reshape(x: Tensor, shape) -> Tensor:
-    return apply_op("reshape", x, shape=tuple(shape))
+    return apply_op(resolve("reshape"), x, shape=tuple(shape))
 
 
 def transpose(x: Tensor, axes=None) -> Tensor:
-    return apply_op("transpose", x, axes=axes)
+    return apply_op(resolve("transpose"), x, axes=axes)
 
 
 def concat(tensors, axis: int = 0) -> Tensor:
-    return apply_op("concat", *tensors, axis=axis)
+    return apply_op(resolve("concat"), *tensors, axis=axis)
 
 
 def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
     shape = x.shape[:start_dim] + (-1,)
-    return apply_op("reshape", x, shape=shape)
+    return apply_op(resolve("reshape"), x, shape=shape)
 
 
 def cross_entropy(logits: Tensor, targets) -> Tensor:
-    return apply_op("cross_entropy", logits, as_tensor(targets))
+    return apply_op(resolve("cross_entropy"), logits, as_tensor(targets))
 
 
 def mse_loss(pred: Tensor, target) -> Tensor:
-    return apply_op("mse_loss", pred, as_tensor(target))
+    return apply_op(resolve("mse_loss"), pred, as_tensor(target))
 
 
 def clip(x: Tensor, minimum=None, maximum=None) -> Tensor:
-    return apply_op("clip", x, minimum=minimum, maximum=maximum)
+    return apply_op(resolve("clip"), x, minimum=minimum, maximum=maximum)
 
 
 def abs(x: Tensor) -> Tensor:  # noqa: A001 (mirrors torch.abs)
-    return apply_op("abs", x)
+    return apply_op(resolve("abs"), x)
 
 
 def where(condition, a: Tensor, b: Tensor) -> Tensor:
-    return apply_op("where", as_tensor(condition), as_tensor(a), as_tensor(b))
+    return apply_op(resolve("where"), as_tensor(condition), as_tensor(a), as_tensor(b))
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
-    return apply_op("stack", *tensors, axis=axis)
+    return apply_op(resolve("stack"), *tensors, axis=axis)
 
 
 def split(x: Tensor, sections: int = 2, axis: int = 0):
-    return apply_op("split", x, sections=sections, axis=axis)
+    return apply_op(resolve("split"), x, sections=sections, axis=axis)
 
 
 def pad(x: Tensor, pad_width) -> Tensor:
-    return apply_op("pad", x, pad_width=tuple(map(tuple, pad_width)))
+    return apply_op(resolve("pad"), x, pad_width=tuple(map(tuple, pad_width)))

@@ -7,6 +7,7 @@ import math
 import numpy as np
 
 from . import functional as F
+from .dispatch import apply_op
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -39,9 +40,14 @@ class Linear(Module):
         gen = _rng(rng)
         self.weight = Parameter(gen.uniform(-bound, bound, (out_features, in_features)))
         self.bias = Parameter(gen.uniform(-bound, bound, out_features)) if bias else None
+        # registry lookups memoized at construction; overrides patch the
+        # OpDef in place, so the handle stays instrumentation-aware
+        self._linear_op = F.resolve("linear")
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.linear(x, self.weight, self.bias)
+        if self.bias is None:
+            return apply_op(self._linear_op, x, self.weight)
+        return apply_op(self._linear_op, x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features})"
@@ -65,9 +71,15 @@ class Conv2d(Module):
         self.weight = Parameter(
             gen.uniform(-bound, bound, (out_channels, in_channels) + self.kernel_size))
         self.bias = Parameter(gen.uniform(-bound, bound, out_channels)) if bias else None
+        self._conv_op = F.resolve("conv2d")
+        self._bias_op = F.resolve("bias_add") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+        out = apply_op(self._conv_op, x, self.weight, stride=self.stride,
+                       padding=self.padding, algorithm="auto")
+        if self.bias is not None:
+            out = apply_op(self._bias_op, out, self.bias)
+        return out
 
     def __repr__(self) -> str:
         return (f"Conv2d({self.in_channels}, {self.out_channels}, "
@@ -85,11 +97,13 @@ class BatchNorm2d(Module):
         self.bias = Parameter(np.zeros(num_features))
         self.register_buffer("running_mean", Tensor(np.zeros(num_features)))
         self.register_buffer("running_var", Tensor(np.ones(num_features)))
+        self._bn_op = F.resolve("batch_norm")
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.batch_norm(x, self.weight, self.bias, self.running_mean,
-                            self.running_var, training=self.training,
-                            momentum=self.momentum, eps=self.eps)
+        return apply_op(self._bn_op, x, self.weight, self.bias,
+                        self.running_mean, self.running_var,
+                        training=self.training, momentum=self.momentum,
+                        eps=self.eps)
 
 
 class BatchNorm1d(BatchNorm2d):
@@ -103,9 +117,10 @@ class LayerNorm(Module):
         self.eps = eps
         self.weight = Parameter(np.ones(normalized_shape))
         self.bias = Parameter(np.zeros(normalized_shape))
+        self._ln_op = F.resolve("layer_norm")
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+        return apply_op(self._ln_op, x, self.weight, self.bias, eps=self.eps)
 
 
 class Embedding(Module):

@@ -69,6 +69,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        from .dispatch import get_capture_tracer
+        tracer = get_capture_tracer()
+        if tracer is not None:
+            # the concrete value escapes into Python control flow: the trace
+            # being recorded cannot be replayed safely for other inputs
+            tracer.record_escape("Tensor.item() read during trace")
         return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":

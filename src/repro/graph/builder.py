@@ -29,6 +29,7 @@ __all__ = [
     "layer_norm", "reshape", "transpose", "concat", "reduce_mean",
     "reduce_sum", "gather", "dropout", "sparse_softmax_cross_entropy",
     "square", "sqrt", "assign_sub", "assign_add", "group", "py_call",
+    "capture_op", "capture_variable", "capture_constant",
 ]
 
 COMPUTE: dict[str, Callable] = {}
@@ -50,7 +51,10 @@ def register_grad(op_type: str):
 
 
 def _graph(explicit: Graph | None = None) -> Graph:
-    return explicit or get_default_graph()
+    # explicit identity check: an *empty* Graph is falsy (len() == 0), and
+    # building the first node of a fresh graph must not silently target the
+    # default graph
+    return explicit if explicit is not None else get_default_graph()
 
 
 def _pool_out(runtime, *operands):
@@ -942,6 +946,59 @@ def _compute_py_call(op, inputs, runtime):
     if not isinstance(result, tuple):
         result = (result,)
     return tuple(np.asarray(r) for r in result)
+
+
+# ---------------------------------------------------------------------------
+# symbolic-capture builders (repro.capture)
+# ---------------------------------------------------------------------------
+
+def capture_op(op_type: str, inputs, attrs: dict | None = None,
+               num_outputs: int = 1, name: str | None = None,
+               graph: Graph | None = None,
+               control_inputs=()) -> Operation:
+    """Append one captured op (eager op-type namespace) to ``graph``.
+
+    Unlike the TF-style builders above, captured ops keep the *eager*
+    operator names (``matmul``, ``conv2d``...); their compute functions wrap
+    the eager :class:`~repro.eager.dispatch.OpDef` forwards (registered by
+    :mod:`repro.capture.ops`).  Tagged ``captured`` so analyses and tools can
+    distinguish them from hand-built TF-style graphs.
+    """
+    g = _graph(graph)
+    op = g.add_op(op_type, list(inputs), dict(attrs or {}),
+                  name=name or op_type, num_outputs=num_outputs,
+                  control_inputs=control_inputs)
+    op.tags["captured"] = True
+    return op
+
+
+def capture_variable(array: np.ndarray, name: str = "CapturedVariable",
+                     trainable: bool = True,
+                     graph: Graph | None = None) -> GraphTensor:
+    """A ``Variable`` node whose store entry *aliases* ``array`` (no copy).
+
+    Symbolic capture lifts eager parameters/buffers this way so eager
+    in-place updates stay visible to the captured graph (and vice versa).
+    """
+    g = _graph(graph)
+    op = g.add_op("Variable", [], {"trainable": trainable}, name=name)
+    op.tags["captured"] = True
+    g.variables.adopt(op.name, array)
+    return op.outputs[0]
+
+
+def capture_constant(value, name: str = "Const",
+                     graph: Graph | None = None) -> GraphTensor:
+    """A ``Const`` preserving the exact dtype of ``value``.
+
+    Captured eager constants are already concrete arrays in the dtype the
+    eager kernels saw; coercing to float64 (as :func:`constant` does) would
+    change integer index/label arrays and break bit-equivalence.
+    """
+    op = _graph(graph).add_op("Const", [], {"value": np.asarray(value)},
+                              name=name)
+    op.tags["captured"] = True
+    return op.outputs[0]
 
 
 # AddN: gradient accumulation when a tensor has several consumers.

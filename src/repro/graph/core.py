@@ -205,6 +205,19 @@ class VariableStore:
         self._values[name] = arr
         self._array_ids[id(arr)] = name
 
+    def adopt(self, name: str, array: np.ndarray) -> None:
+        """Store ``array`` itself (no copy) as variable ``name``.
+
+        Symbolic capture lifts eager parameters into Variables by *aliasing*
+        their live buffers: eager in-place updates (optimizer steps,
+        batch-norm running stats, ``load_state_dict``) then stay visible to
+        the captured graph without any synchronization step, and vice versa.
+        """
+        self._forget(name)
+        arr = np.asarray(array)
+        self._values[name] = arr
+        self._array_ids[id(arr)] = name
+
     def read(self, name: str) -> np.ndarray:
         return self._values[name]
 
@@ -245,6 +258,11 @@ class Graph:
         self._internal_mutation = False
         #: (fingerprint, version) memo — valid while the version is unchanged
         self._fingerprint_memo: tuple[tuple, int] | None = None
+        #: capture guard-bucket token: two captured graphs of the same module
+        #: traced under different guards (input shapes/dtypes, train/eval)
+        #: are structurally near-identical, so the token is mixed into the
+        #: fingerprint digest to keep their cache entries distinct
+        self.guard_token: Any = None
 
     # -- construction ---------------------------------------------------------
     def unique_name(self, base: str) -> str:
@@ -294,11 +312,11 @@ class Graph:
         memo = self._fingerprint_memo
         if memo is not None and memo[1] == self.version:
             return memo[0]
-        digest = hash(tuple(
+        digest = hash((self.guard_token, tuple(
             (op.type, op.name,
              tuple(edge.name for edge in op.inputs),
              tuple(dep.name for dep in op.control_inputs))
-            for op in self.operations))
+            for op in self.operations)))
         fingerprint = (id(self), self.version, digest)
         self._fingerprint_memo = (fingerprint, self.version)
         return fingerprint

@@ -130,6 +130,19 @@ _GRAPH_FUSED_MAP = {"FusedConv2D": "conv2d", "FusedMatMul": "matmul"}
 
 def _graph_rule(context: OpContext) -> None:
     raw = context.get("_raw_type")
+    op = context.get_op()
+    if getattr(op, "tags", {}).get("captured"):
+        # symbolic capture (repro.capture): the graph holds *eager* op types
+        # in eager layouts, so it normalizes like the eager backend — TF-name
+        # translation or NHWC/HWIO annotations would mislabel every op
+        context["type"] = raw
+        context["weight_layout"] = "OIHW"
+        context["data_layout"] = "NCHW"
+        if not context.is_forward():
+            raw_backward = context.get("_backward_name")
+            context["backward_type"] = _EAGER_BACKWARD_ALIASES.get(
+                raw_backward, raw_backward)
+        return
     context["type"] = _GRAPH_TYPE_MAP.get(raw, raw)
     context["weight_layout"] = "HWIO"
     context["data_layout"] = "NHWC"

@@ -17,6 +17,8 @@ so it receives ``W.T`` — magnitude masks and max-abs scales are layout
 invariant, which is exactly why the cross-backend comparison is exact.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 
@@ -24,9 +26,11 @@ import repro.amanda as amanda
 import repro.eager as E
 import repro.eager.functional as F
 import repro.graph as G
+from repro.capture import capture
 from repro.graph import builder as gb
 from repro.onnx import InferenceSession
 from repro.onnx.model import OnnxBuilder
+from repro.tools.faulty import FaultyTool
 from repro.tools.pruning import MagnitudePruningTool
 from repro.tools.quantization import StaticPTQTool
 from repro.tools.tracing import ExecutionTraceTool
@@ -60,6 +64,17 @@ def run_onnx():
 
 
 BACKENDS = {"eager": run_eager, "graph": run_graph, "onnx": run_onnx}
+
+
+class _CaptureNet(E.Module):
+    """The same ``y = relu(x @ W)`` network as a module, for capture."""
+
+    def __init__(self):
+        super().__init__()
+        self.w = E.Parameter(W.copy())
+
+    def forward(self, x):
+        return F.relu(F.matmul(x, self.w))
 
 
 def _outputs(tool=None):
@@ -105,6 +120,13 @@ class TestCrossDriverEquivalence:
             np.testing.assert_allclose(value, reference, rtol=1e-9,
                                        err_msg=name)
 
+    def test_captured_joins_the_equivalence_class(self):
+        """The capture frontend produces the same bytes as eager dispatch."""
+        model = _CaptureNet().eval()
+        cm = capture(model)
+        out = cm(E.tensor(X))
+        np.testing.assert_array_equal(np.asarray(out.data), run_eager())
+
     def test_quantization_scales_agree_across_backends(self):
         quantized, tools = _outputs(lambda: StaticPTQTool(bits=8))
         # eager assigns fresh op ids per call, so dedupe by value: the
@@ -119,3 +141,64 @@ class TestCrossDriverEquivalence:
         for name, value in quantized.items():
             np.testing.assert_allclose(value, reference, rtol=1e-9,
                                        err_msg=name)
+
+
+# ---------------------------------------------------------------------------
+# capture matrix: {vanilla, observe-only, mutating, quarantined} tools
+# x workers {1, 4} — captured execution must stay bit-identical to eager
+# ---------------------------------------------------------------------------
+
+_MATRIX_TOOLS = {
+    "vanilla": None,
+    "observe": ExecutionTraceTool,
+    "mutate": lambda: MagnitudePruningTool(sparsity=0.5),
+    "quarantine": lambda: FaultyTool(i_point="before_forward_op", always=True),
+}
+
+
+def _matrix_run(run, kind, workers):
+    """Steady-state output of ``run`` under the matrix cell's tool."""
+    factory = _MATRIX_TOOLS[kind]
+    policy = (amanda.error_policy("quarantine") if kind == "quarantine"
+              else contextlib.nullcontext())
+    if factory is None:
+        with amanda.num_workers(workers):
+            run()
+            return run(), None, None
+    instance = factory()
+    with policy, amanda.num_workers(workers), amanda.apply(instance) as mgr:
+        run()                  # analysis pass / trace + first replay
+        out = run()            # steady-state replay
+        quarantined = set(mgr.quarantined)  # scope exit lifts quarantine
+    return out, instance, quarantined
+
+
+class TestCapturedMatrixEquivalence:
+    """Captured == eager, bitwise, across tools and worker counts."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("kind", sorted(_MATRIX_TOOLS))
+    def test_captured_matches_eager(self, kind, workers):
+        x = E.tensor(X)
+        eager_model = _CaptureNet().eval()
+        cm = capture(_CaptureNet().eval())
+
+        eager_out, eager_tool, _ = _matrix_run(
+            lambda: eager_model(x).data, kind, workers)
+        cap_out, cap_tool, cap_quarantined = _matrix_run(
+            lambda: cm(x).data, kind, workers)
+        np.testing.assert_array_equal(np.asarray(cap_out),
+                                      np.asarray(eager_out))
+        assert cm.capture_count >= 1
+        assert cm.fallback_count == 0
+
+        if kind == "observe":
+            assert cap_tool.events          # replay is visible to the tool
+            vanilla = run_eager()
+            np.testing.assert_array_equal(np.asarray(cap_out), vanilla)
+        elif kind == "mutate":
+            assert cap_tool.masks and eager_tool.masks
+            assert not np.allclose(cap_out, run_eager())  # pruning took hold
+        elif kind == "quarantine":
+            assert cap_tool.name in cap_quarantined  # faulty tool ejected
+            np.testing.assert_array_equal(np.asarray(cap_out), run_eager())
