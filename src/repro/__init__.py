@@ -14,9 +14,12 @@ Subpackages
     the paper compares against.
 ``repro.models`` / ``repro.data`` / ``repro.kernels``
     Model zoos, synthetic datasets, and the simulated kernel runtime.
+``repro.serve``
+    Multi-tenant serving runtime with sampled instrumentation.
 """
 
 __version__ = "1.0.0"
 
 __all__ = ["amanda", "eager", "graph", "onnx", "tools", "kernels", "models",
-           "data", "baselines", "core", "backends", "train", "capture"]
+           "data", "baselines", "core", "backends", "train", "capture",
+           "serve"]

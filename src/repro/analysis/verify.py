@@ -259,7 +259,10 @@ class GraphVerifier:
                     "redirect", op,
                     f"fetch redirect {original_name!r} -> {target.name!r} "
                     "does not target an instrumentation wrapper")
-            source = self.source_graph or self.graph
+            # identity check: an empty source graph is falsy, and falling
+            # back to the instrumented graph would hide missing sources
+            source = (self.source_graph if self.source_graph is not None
+                      else self.graph)
             base = original_name.partition(":")[0]
             if base not in source._by_name:
                 self._issue(

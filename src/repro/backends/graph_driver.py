@@ -17,10 +17,13 @@ Mirrors the paper's TensorFlow driver:
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
 from ..core.actions import IPoint
+from ..core.config import config
 from ..core.context import OpContext
 from ..core.faults import InstrumentationError, Provenance
 from ..core.ids import OpIdAssigner
@@ -45,8 +48,18 @@ class GraphDriver(BackendDriver):
         self._interceptor = Interceptor()
         #: (graph id, graph version, tool epoch) -> (instrumented graph,
         #: tensor-name redirects pointing fetches at inserted wrapper
-        #: outputs, compiled per-op execution plans)
-        self._graph_cache: dict[tuple, tuple[Graph, dict, list]] = {}
+        #: outputs, compiled per-op execution plans).  LRU-ordered and
+        #: bounded by ``config.plan_cache_size``: the serving runtime bumps
+        #: the tool epoch on every tenant lease swap, and epoch-keyed
+        #: entries would otherwise accumulate one instrumented graph clone
+        #: per swap for the life of the apply scope.
+        self._graph_cache: OrderedDict[tuple, tuple[Graph, dict, list]] = \
+            OrderedDict()
+        #: guards the cache dict itself (lookup/insert/evict); the rewrite
+        #: that *fills* it stays outside the lock — instrumented runs are
+        #: serialized by the serving lease, and a rare duplicate rewrite of
+        #: the same key is benign (last writer wins)
+        self._cache_lock = threading.RLock()
         self.rewrite_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -100,10 +113,14 @@ class GraphDriver(BackendDriver):
     # -- run interception ----------------------------------------------------------
     def _intercept_run(self, session: Session, fetches, feed, run_impl):
         mgr = self.manager
-        if not mgr.active:
+        if not mgr.active or getattr(session, "instrumentation_exempt",
+                                     False):
+            # exempt sessions (the serving runtime's vanilla lane) always
+            # run their own graph, even while another tenant's tools hold
+            # the instrumentation lease
             return run_impl(session.graph, fetches, feed)
         key = session.graph.fingerprint() + (mgr.tool_epoch,)
-        entry = self._graph_cache.get(key) if mgr.cache_enabled else None
+        entry = self._cache_get(key) if mgr.cache_enabled else None
         if entry is None:
             self.cache_misses += 1
             try:
@@ -128,7 +145,7 @@ class GraphDriver(BackendDriver):
                 # store under the key the *next* lookup will compute, never
                 # orphaning the entry under a stale epoch
                 key = session.graph.fingerprint() + (mgr.tool_epoch,)
-                self._graph_cache[key] = entry
+                self._cache_put(key, entry)
         else:
             self.cache_hits += 1
             for plan in entry[2]:
@@ -154,6 +171,22 @@ class GraphDriver(BackendDriver):
         finally:
             # post-run snapshot: the plan cache and arena the run produced
             self._capture_executor_stats(session)
+
+    # -- instrumented-graph cache (LRU, bounded) --------------------------------
+    def _cache_get(self, key: tuple):
+        with self._cache_lock:
+            entry = self._graph_cache.get(key)
+            if entry is not None:
+                self._graph_cache.move_to_end(key)
+            return entry
+
+    def _cache_put(self, key: tuple, entry: tuple) -> None:
+        with self._cache_lock:
+            self._graph_cache[key] = entry
+            self._graph_cache.move_to_end(key)
+            bound = max(1, config.plan_cache_size)
+            while len(self._graph_cache) > bound:
+                self._graph_cache.popitem(last=False)
 
     def _capture_executor_stats(self, session: Session) -> None:
         arena = getattr(session, "_arena", None)

@@ -37,6 +37,21 @@ Current knobs:
   knob off the wrapper becomes a transparent pass-through to plain eager
   dispatch (no tracing, no guards), which is the safe rollback if a
   captured workload misbehaves in production.
+* ``serve_workers`` (env ``AMANDA_SERVE_WORKERS``, default ``2``) — worker
+  threads of a :class:`repro.serve.ServeRuntime`.  Each worker pulls sealed
+  micro-batches off the shared request queue and executes them on pooled
+  sessions; ``"auto"`` resolves to the host CPU count.
+* ``sample_rate`` (env ``AMANDA_SAMPLE_RATE``, default ``1``) — sampled
+  instrumentation for the serving runtime: instrument 1-in-N requests per
+  tenant and route the rest through the vanilla fast path (an
+  instrumentation-exempt pooled session the graph driver never intercepts).
+  ``1`` instruments every request; ``0`` disables instrumentation entirely.
+* ``batch_deadline_ms`` (env ``AMANDA_BATCH_DEADLINE_MS``, default ``2.0``)
+  — how long the serving queue holds an open micro-batch waiting for it to
+  fill before flushing it anyway (tail-latency bound on batching).
+* ``serve_batch`` (env ``AMANDA_SERVE_BATCH``, default ``8``) — micro-batch
+  size at which the serving queue seals a batch immediately (flush on
+  batch-size; the deadline above flushes partial batches).
 """
 
 from __future__ import annotations
@@ -45,7 +60,9 @@ import os
 from contextlib import contextmanager
 
 __all__ = ["Config", "config", "num_workers", "effect_analysis",
-           "arena_reuse", "plan_cache_size", "capture_enabled"]
+           "arena_reuse", "plan_cache_size", "capture_enabled",
+           "serve_workers", "sample_rate", "batch_deadline_ms",
+           "serve_batch"]
 
 
 def _parse_workers(value: str | int | None, default: int = 1) -> int:
@@ -90,6 +107,28 @@ def _parse_bound(value: str | int | None, default: int) -> int:
     return max(1, bound)
 
 
+def _parse_rate(value: str | int | None, default: int) -> int:
+    """Parse a non-negative 1-in-N sampling rate (0 = never sample)."""
+    if value is None:
+        return default
+    try:
+        rate = int(value)
+    except (TypeError, ValueError):
+        return default
+    return max(0, rate)
+
+
+def _parse_ms(value: str | float | None, default: float) -> float:
+    """Parse a non-negative duration in milliseconds."""
+    if value is None:
+        return default
+    try:
+        ms = float(value)
+    except (TypeError, ValueError):
+        return default
+    return max(0.0, ms)
+
+
 class Config:
     """Process-global runtime knobs, env-seeded and scope-overridable."""
 
@@ -106,6 +145,14 @@ class Config:
         self.plan_cache_size = _parse_bound(
             os.environ.get("AMANDA_PLAN_CACHE_SIZE"), default=64)
         self.capture = _parse_flag(os.environ.get("AMANDA_CAPTURE"))
+        self.serve_workers = _parse_workers(
+            os.environ.get("AMANDA_SERVE_WORKERS"), default=2)
+        self.sample_rate = _parse_rate(
+            os.environ.get("AMANDA_SAMPLE_RATE"), default=1)
+        self.batch_deadline_ms = _parse_ms(
+            os.environ.get("AMANDA_BATCH_DEADLINE_MS"), default=2.0)
+        self.serve_batch = _parse_bound(
+            os.environ.get("AMANDA_SERVE_BATCH"), default=8)
 
     def set_num_workers(self, workers: int | str) -> None:
         self.num_workers = _parse_workers(workers)
@@ -115,7 +162,11 @@ class Config:
                 f"effect_analysis={self.effect_analysis}, "
                 f"arena_reuse={self.arena_reuse}, "
                 f"plan_cache_size={self.plan_cache_size}, "
-                f"capture={self.capture})")
+                f"capture={self.capture}, "
+                f"serve_workers={self.serve_workers}, "
+                f"sample_rate={self.sample_rate}, "
+                f"batch_deadline_ms={self.batch_deadline_ms}, "
+                f"serve_batch={self.serve_batch})")
 
 
 #: process-global configuration instance (``amanda.config``)
@@ -175,3 +226,47 @@ def capture_enabled(enabled: bool):
         yield config
     finally:
         config.capture = previous
+
+
+@contextmanager
+def serve_workers(workers: int | str):
+    """Scope-override the serving worker count (``amanda.serve_workers``)."""
+    previous = config.serve_workers
+    config.serve_workers = _parse_workers(workers, default=previous)
+    try:
+        yield config
+    finally:
+        config.serve_workers = previous
+
+
+@contextmanager
+def sample_rate(rate: int):
+    """Scope-override the 1-in-N instrumentation sampling rate."""
+    previous = config.sample_rate
+    config.sample_rate = _parse_rate(rate, default=previous)
+    try:
+        yield config
+    finally:
+        config.sample_rate = previous
+
+
+@contextmanager
+def batch_deadline_ms(deadline: float):
+    """Scope-override the micro-batch flush deadline (milliseconds)."""
+    previous = config.batch_deadline_ms
+    config.batch_deadline_ms = _parse_ms(deadline, default=previous)
+    try:
+        yield config
+    finally:
+        config.batch_deadline_ms = previous
+
+
+@contextmanager
+def serve_batch(size: int):
+    """Scope-override the micro-batch size bound."""
+    previous = config.serve_batch
+    config.serve_batch = _parse_bound(size, default=previous)
+    try:
+        yield config
+    finally:
+        config.serve_batch = previous

@@ -18,6 +18,8 @@ The manager is the backend-independent layer (Fig. 3).  It
 
 from __future__ import annotations
 
+import copy
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable
@@ -123,6 +125,11 @@ class InstrumentationManager:
         self._errors_by_tool: dict[str, int] = {}
         self._errors_by_i_point: dict[str, int] = {}
         self._errors_by_op: dict[str, int] = {}
+        #: guards the failure counters, error log and quarantine set: tools
+        #: fail from concurrent serving workers, and unlocked
+        #: read-modify-writes would lose increments (and ``health()`` would
+        #: return torn snapshots)
+        self._health_lock = threading.RLock()
 
     #: how many recent failures ``errors`` retains (counters stay complete)
     MAX_RECORDED_ERRORS = 100
@@ -336,16 +343,18 @@ class InstrumentationManager:
 
     def record_failure(self, error: InstrumentationError) -> None:
         """Count a routine failure (full provenance) for :meth:`health`."""
-        self._error_total += 1
         p = error.provenance
-        for counts, key in ((self._errors_by_tool, p.tool or "<unknown>"),
-                            (self._errors_by_i_point, p.i_point or "<unknown>"),
-                            (self._errors_by_op,
-                             f"{p.op_type or '?'}:{p.op_id}")):
-            counts[key] = counts.get(key, 0) + 1
-        self.errors.append(error)
-        if len(self.errors) > self.MAX_RECORDED_ERRORS:
-            del self.errors[0]
+        with self._health_lock:
+            self._error_total += 1
+            for counts, key in ((self._errors_by_tool, p.tool or "<unknown>"),
+                                (self._errors_by_i_point,
+                                 p.i_point or "<unknown>"),
+                                (self._errors_by_op,
+                                 f"{p.op_type or '?'}:{p.op_id}")):
+                counts[key] = counts.get(key, 0) + 1
+            self.errors.append(error)
+            if len(self.errors) > self.MAX_RECORDED_ERRORS:
+                del self.errors[0]
 
     def quarantine(self, tool_name: str) -> None:
         """Disable ``tool_name``'s routines and recorded actions.
@@ -356,16 +365,18 @@ class InstrumentationManager:
         compilation excludes quarantined tools' actions, so subsequent
         execution is vanilla with respect to the tool.
         """
-        if tool_name in self.quarantined:
-            return
-        self.quarantined.add(tool_name)
-        self.tool_epoch += 1
+        with self._health_lock:
+            if tool_name in self.quarantined:
+                return
+            self.quarantined.add(tool_name)
+            self.tool_epoch += 1
 
     def clear_quarantine(self) -> None:
         """Re-enable all quarantined tools (plans recompile via the epoch)."""
-        if self.quarantined:
-            self.quarantined.clear()
-            self.tool_epoch += 1
+        with self._health_lock:
+            if self.quarantined:
+                self.quarantined.clear()
+                self.tool_epoch += 1
 
     def health(self) -> dict:
         """Fault-isolation observability (pairs with :meth:`plan_stats`).
@@ -373,29 +384,36 @@ class InstrumentationManager:
         Error counters per tool / op / instrumentation point, the
         quarantined-tool list, the most recent failures with full
         provenance, and per-backend recovery counters under ``"backends"``.
+        The report is a consistent, deep-copied snapshot: it is assembled
+        under the same lock the failure counters mutate under, so a reader
+        concurrent with failing tools never sees totals that disagree with
+        the per-key breakdowns — and later mutations never reach into a
+        report a caller already holds.
         """
-        report = {
-            "policy": self.error_policy,
-            "errors": self._error_total,
-            "by_tool": dict(self._errors_by_tool),
-            "by_i_point": dict(self._errors_by_i_point),
-            "by_op": dict(self._errors_by_op),
-            "quarantined": sorted(self.quarantined),
-            "recent": [error.summary() for error in self.errors],
-            "backends": {},
-        }
-        for driver in self._drivers:
-            backend_health = getattr(driver, "health", None)
-            if backend_health is not None:
-                report["backends"][driver.namespace] = backend_health()
-        return report
+        with self._health_lock:
+            report = {
+                "policy": self.error_policy,
+                "errors": self._error_total,
+                "by_tool": dict(self._errors_by_tool),
+                "by_i_point": dict(self._errors_by_i_point),
+                "by_op": dict(self._errors_by_op),
+                "quarantined": sorted(self.quarantined),
+                "recent": [error.summary() for error in self.errors],
+                "backends": {},
+            }
+            for driver in self._drivers:
+                backend_health = getattr(driver, "health", None)
+                if backend_health is not None:
+                    report["backends"][driver.namespace] = backend_health()
+            return copy.deepcopy(report)
 
     def reset_health(self) -> None:
-        self.errors = []
-        self._error_total = 0
-        self._errors_by_tool = {}
-        self._errors_by_i_point = {}
-        self._errors_by_op = {}
+        with self._health_lock:
+            self.errors = []
+            self._error_total = 0
+            self._errors_by_tool = {}
+            self._errors_by_i_point = {}
+            self._errors_by_op = {}
 
     # -- cache -------------------------------------------------------------------
     def cache_lookup(self, op_id: int) -> CachedOpRecord | None:

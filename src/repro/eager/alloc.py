@@ -19,49 +19,68 @@ __all__ = ["AllocationTracker", "Arena", "tracker", "scope"]
 
 
 class AllocationTracker:
-    """Accumulates live and peak bytes per allocation scope."""
+    """Accumulates live and peak bytes per allocation scope.
+
+    Thread-safe: the serving runtime (``repro.serve``) runs concurrent
+    sessions that all account through this process-global instance, so the
+    counter read-modify-writes are lock-guarded and the *scope stack* is
+    per-thread (a tool scope pushed by one worker must not re-attribute a
+    concurrent worker's allocations).
+    """
 
     SCOPES = ("dnn", "amanda", "tool")
 
     def __init__(self) -> None:
-        self._stack: list[str] = ["dnn"]
+        self._lock = threading.Lock()
+        self._tls = threading.local()
         self.reset()
 
     def reset(self) -> None:
-        self.live = dict.fromkeys(self.SCOPES, 0)
-        self.peak = dict.fromkeys(self.SCOPES, 0)
-        self.total_allocated = dict.fromkeys(self.SCOPES, 0)
+        with self._lock:
+            self.live = dict.fromkeys(self.SCOPES, 0)
+            self.peak = dict.fromkeys(self.SCOPES, 0)
+            self.total_allocated = dict.fromkeys(self.SCOPES, 0)
+
+    def _scope_stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = ["dnn"]
+        return stack
 
     @property
     def current_scope(self) -> str:
-        return self._stack[-1]
+        return self._scope_stack()[-1]
 
     def push_scope(self, name: str) -> None:
         if name not in self.SCOPES:
             raise ValueError(f"unknown allocation scope {name!r}")
-        self._stack.append(name)
+        self._scope_stack().append(name)
 
     def pop_scope(self) -> None:
-        if len(self._stack) > 1:
-            self._stack.pop()
+        stack = self._scope_stack()
+        if len(stack) > 1:
+            stack.pop()
 
     def allocate(self, nbytes: int, scope: str | None = None) -> str:
         scope = scope or self.current_scope
-        self.live[scope] += nbytes
-        self.total_allocated[scope] += nbytes
-        if self.live[scope] > self.peak[scope]:
-            self.peak[scope] = self.live[scope]
+        with self._lock:
+            self.live[scope] += nbytes
+            self.total_allocated[scope] += nbytes
+            if self.live[scope] > self.peak[scope]:
+                self.peak[scope] = self.live[scope]
         return scope
 
     def release(self, nbytes: int, scope: str) -> None:
-        self.live[scope] -= nbytes
+        with self._lock:
+            self.live[scope] -= nbytes
 
     def snapshot(self) -> dict[str, dict[str, int]]:
-        return {
-            "live": dict(self.live),
-            "peak": dict(self.peak),
-            "total": dict(self.total_allocated),
-        }
+        with self._lock:
+            return {
+                "live": dict(self.live),
+                "peak": dict(self.peak),
+                "total": dict(self.total_allocated),
+            }
 
 
 class Arena:

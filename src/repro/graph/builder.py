@@ -917,7 +917,9 @@ def _compute_assign_add(op, inputs, runtime):
 
 def group(ops, name: str = "NoOp", graph: Graph | None = None) -> Operation:
     """A no-output op with control dependencies on ``ops`` (tf.group)."""
-    g = _graph(graph) if not ops else ops[0].graph
+    # explicit length check (not truthiness) mirroring _graph's identity
+    # check: only a genuinely empty dependency list falls back
+    g = ops[0].graph if len(ops) > 0 else _graph(graph)
     deps = [o if isinstance(o, Operation) else o.op for o in ops]
     return g.add_op("NoOp", [], name=name, num_outputs=1, control_inputs=deps)
 
@@ -928,15 +930,19 @@ def _compute_noop(op, inputs, runtime):
 
 
 def py_call(func, inputs, num_outputs: int = 1, attrs: dict | None = None,
-            name: str = "PyCall") -> Operation:
+            name: str = "PyCall", graph: Graph | None = None) -> Operation:
     """A python-callback op — the vehicle instrumentation routines ride in.
 
     ``func(*arrays)`` must return an array (or a tuple of ``num_outputs``).
+    An input-less callback targets ``graph`` when given — routed through
+    ``_graph``'s identity check, so a fresh *empty* explicit graph is
+    honored — and the default graph otherwise.
     """
-    g = inputs[0].graph if inputs else get_default_graph()
+    inputs = list(inputs)
+    g = inputs[0].graph if len(inputs) > 0 else _graph(graph)
     merged = {"func": func}
     merged.update(attrs or {})
-    return g.add_op("PyCall", list(inputs), merged, name=name,
+    return g.add_op("PyCall", inputs, merged, name=name,
                     num_outputs=num_outputs)
 
 

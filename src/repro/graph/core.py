@@ -343,7 +343,11 @@ class default_graph:
     """Context manager making ``graph`` the implicit build target."""
 
     def __init__(self, graph: Graph | None = None) -> None:
-        self.graph = graph or Graph()
+        # explicit identity check (same falsy-empty-graph hazard as
+        # builder._graph): a fresh Graph has len() == 0 and is falsy, and
+        # ``with default_graph(my_graph):`` must target *that* graph even
+        # before its first op is added
+        self.graph = graph if graph is not None else Graph()
 
     def __enter__(self) -> Graph:
         _default_graph_stack.append(self.graph)

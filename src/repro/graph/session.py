@@ -52,6 +52,7 @@ why a fallback happened, and every serialized op with its conflict reason.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -302,10 +303,21 @@ class Session:
         self.hooks: list[SessionRunHook] = list(hooks or [])
         #: LRU-ordered plan cache, bounded by ``config.plan_cache_size``
         self._plan_cache: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        #: guards the plan cache and lazily-created executor/arena: ``run()``
+        #: is safe to call from concurrent threads on a shared session (the
+        #: serving runtime's hammer case) — LRU reorder, eviction and
+        #: single-instance creation all happen under this lock
+        self._state_lock = threading.RLock()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
         #: lazily-created buffer arena (``config.arena_reuse``)
         self._arena: alloc.Arena | None = None
+        #: instrumentation opt-out consulted by the Amanda graph driver: an
+        #: exempt session always runs its vanilla graph even while tools are
+        #: active.  The serving runtime marks its vanilla-lane pooled
+        #: sessions exempt so an open instrumentation lease for one tenant
+        #: can never leak into another tenant's un-sampled requests.
+        self.instrumentation_exempt = False
         self.run_count = 0
         self.last_run_seconds = 0.0
         #: whether the most recent run used the wavefront executor
@@ -356,7 +368,8 @@ class Session:
                                              results[len(fetch_list):]))
         for hook in self.hooks:
             hook.after_run(context, main)
-        self.run_count += 1
+        with self._state_lock:
+            self.run_count += 1
         return main[0] if single else main
 
     # -- execution ------------------------------------------------------------
@@ -371,27 +384,32 @@ class Session:
         return feed
 
     def _plan(self, graph: Graph, fetch_ops: tuple[str, ...]) -> CompiledPlan:
+        # the whole lookup-or-compile is one critical section: unlocked, a
+        # concurrent get/move_to_end/insert/evict on the OrderedDict corrupts
+        # the LRU order (or double-evicts) the first time two run() calls
+        # share a session — the serving runtime's baseline workload
         key = graph.fingerprint() + (fetch_ops,)
-        compiled = self._plan_cache.get(key)
-        if compiled is not None:
-            self._plan_cache.move_to_end(key)
+        with self._state_lock:
+            compiled = self._plan_cache.get(key)
+            if compiled is not None:
+                self._plan_cache.move_to_end(key)
+                return compiled
+            # evict plans compiled for earlier versions of this same graph:
+            # the rewriter mutates instrumented copies across tool epochs, and
+            # stale entries would otherwise accumulate without bound
+            stale = [cached for cached in self._plan_cache
+                     if cached[0] == key[0] and cached[:3] != key[:3]]
+            for cached in stale:
+                del self._plan_cache[cached]
+            plan = topo_plan([graph.get_operation(name) for name in fetch_ops])
+            compiled = CompiledPlan(plan, fetch_ops)
+            self._plan_cache[key] = compiled
+            # distinct fetch tuples (and distinct graphs) are evicted
+            # LRU-first: a long-lived session cycling fetch sets stays bounded
+            bound = max(1, config.plan_cache_size)
+            while len(self._plan_cache) > bound:
+                self._plan_cache.popitem(last=False)
             return compiled
-        # evict plans compiled for earlier versions of this same graph: the
-        # rewriter mutates instrumented copies across tool epochs, and stale
-        # entries would otherwise accumulate without bound
-        stale = [cached for cached in self._plan_cache
-                 if cached[0] == key[0] and cached[:3] != key[:3]]
-        for cached in stale:
-            del self._plan_cache[cached]
-        plan = topo_plan([graph.get_operation(name) for name in fetch_ops])
-        compiled = CompiledPlan(plan, fetch_ops)
-        self._plan_cache[key] = compiled
-        # distinct fetch tuples (and distinct graphs) are evicted LRU-first:
-        # a long-lived session cycling fetch sets stays bounded
-        bound = max(1, config.plan_cache_size)
-        while len(self._plan_cache) > bound:
-            self._plan_cache.popitem(last=False)
-        return compiled
 
     def _run_impl(self, graph: Graph, fetches: list[GraphTensor],
                   feed: dict[str, np.ndarray]) -> list[np.ndarray]:
@@ -399,9 +417,10 @@ class Session:
         compiled = self._plan(graph, tuple(t.op.name for t in fetches))
         arena = None
         if config.arena_reuse:
-            if self._arena is None:
-                self._arena = alloc.Arena()
-            arena = self._arena
+            with self._state_lock:
+                if self._arena is None:
+                    self._arena = alloc.Arena()
+                arena = self._arena
         runtime = _Runtime(feed, graph.variables, arena)
         workers = config.num_workers
         self.last_run_parallel = False
@@ -634,14 +653,21 @@ class Session:
         return outputs, nbytes, events
 
     def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
-        """The session's (lazily created, size-keyed) worker pool."""
-        if self._executor is None or self._executor_workers != workers:
-            if self._executor is not None:
-                self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="amanda-wavefront")
-            self._executor_workers = workers
-        return self._executor
+        """The session's (lazily created, size-keyed) worker pool.
+
+        Lock-guarded so concurrent runs on a shared session create exactly
+        one pool.  (Concurrent runs requesting *different* worker counts
+        would still tear down a pool the other run is using — callers that
+        share a session across threads should pin ``num_workers``.)
+        """
+        with self._state_lock:
+            if self._executor is None or self._executor_workers != workers:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="amanda-wavefront")
+                self._executor_workers = workers
+            return self._executor
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -651,16 +677,17 @@ class Session:
         are recreated lazily on the next run).  Prefer the context-manager
         form: ``with Session(graph) as sess: ...``.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
-            self._executor_workers = 0
-        if self._arena is not None:
-            freed = self._arena.drain()
-            if freed:
-                alloc.tracker.release(freed, "dnn")
-            self._arena = None
-        self._plan_cache.clear()
+        with self._state_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+                self._executor_workers = 0
+            if self._arena is not None:
+                freed = self._arena.drain()
+                if freed:
+                    alloc.tracker.release(freed, "dnn")
+                self._arena = None
+            self._plan_cache.clear()
 
     def __enter__(self) -> "Session":
         return self

@@ -86,6 +86,12 @@ class KernelRuntime:
         self._lock = threading.Lock()
         self._tls = threading.local()
         self.launch_count = 0
+        # opt-in per-kernel aggregation for the serving metrics endpoint:
+        # off, launch() stays the near-zero-overhead passthrough; on, each
+        # launch is timed and folded into per-name count/seconds totals
+        self._counters_enabled = False
+        self._kernel_counts: dict[str, int] = {}
+        self._kernel_seconds: dict[str, float] = {}
 
     # -- subscription (cuptiSubscribe / cuptiUnsubscribe analogs) ----------
     def subscribe(self, callback: Callable[[KernelEvent], None],
@@ -116,6 +122,37 @@ class KernelRuntime:
     def has_ordered_subscribers(self) -> bool:
         with self._lock:
             return bool(self._ordered)
+
+    # -- metrics snapshot (serving endpoint) --------------------------------
+    def enable_counters(self, enabled: bool = True) -> None:
+        """Toggle per-kernel count/seconds aggregation (``stats()``)."""
+        with self._lock:
+            self._counters_enabled = enabled
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._kernel_counts = {}
+            self._kernel_seconds = {}
+
+    def stats(self) -> dict:
+        """A consistent snapshot of the runtime's counters.
+
+        Always carries ``launch_count`` and the subscriber population;
+        ``per_kernel`` (name -> count/seconds) fills in while
+        :meth:`enable_counters` is on — the serving runtime turns it on so
+        ``serve.metrics()`` can export kernel activity per deployment.
+        """
+        with self._lock:
+            return {
+                "launch_count": self.launch_count,
+                "subscribers": len(self._subscribers),
+                "ordered_subscribers": len(self._ordered),
+                "counters_enabled": self._counters_enabled,
+                "per_kernel": {
+                    name: {"count": self._kernel_counts[name],
+                           "seconds": self._kernel_seconds.get(name, 0.0)}
+                    for name in self._kernel_counts},
+            }
 
     # -- correlation tags (per-thread) --------------------------------------
     def _stack(self) -> list[str]:
@@ -172,12 +209,21 @@ class KernelRuntime:
         with self._lock:
             self.launch_count += 1
             subscribers = tuple(self._subscribers)
+            counting = self._counters_enabled
         buffer = getattr(self._tls, "buffer", None)
-        if not subscribers and buffer is None:
+        if not subscribers and buffer is None and not counting:
             return fn(*args, **kwargs)
         start = time.perf_counter()
         result = fn(*args, **kwargs)
         duration = time.perf_counter() - start
+        if counting:
+            with self._lock:
+                self._kernel_counts[name] = \
+                    self._kernel_counts.get(name, 0) + 1
+                self._kernel_seconds[name] = \
+                    self._kernel_seconds.get(name, 0.0) + duration
+        if not subscribers and buffer is None:
+            return result
         event = KernelEvent(
             name=name,
             correlation_tag=self.current_tag(),

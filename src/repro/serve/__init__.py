@@ -1,0 +1,36 @@
+"""``repro.serve`` — instrumentation-as-a-service for the graph backend.
+
+Serve several tenants (graph + fetches + tool registry) concurrently from
+one process: requests are micro-batched per tenant and lane, 1-in-N
+requests run under that tenant's instrumentation, and the rest take the
+vanilla fast path on pooled instrumentation-exempt sessions.  See
+:mod:`repro.serve.runtime` for the architecture notes and ``DESIGN.md``
+("Serving layer") for the rationale.
+
+Typical use::
+
+    from repro import serve
+
+    rt = serve.ServeRuntime(workers=4)
+    tenant = rt.register("resnet", graph, fetches=["probs"],
+                         tools=(ProfilingTool(),), sample_rate=10)
+    with rt:
+        future = rt.submit(tenant, {"x": batch})
+        probs = future.result(timeout=5.0)
+    print(serve.metrics()["runtimes"])
+"""
+
+from .. import backends as _backends  # noqa: F401  (registers the backend
+# drivers: the instrumented lane needs the graph driver's run interceptor
+# attached when the lease activates a tenant's tools, and ``repro.serve``
+# must work without a prior ``import repro.amanda``)
+from .batcher import MicroBatcher
+from .metrics import LatencyRecorder, metrics
+from .pool import SessionPool
+from .queue import ServeFuture, ServeRequest
+from .runtime import ServeRuntime, Tenant
+
+__all__ = [
+    "ServeRuntime", "Tenant", "MicroBatcher", "SessionPool",
+    "ServeFuture", "ServeRequest", "LatencyRecorder", "metrics",
+]

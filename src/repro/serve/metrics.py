@@ -1,0 +1,85 @@
+"""Serving observability: latency recorders and the metrics snapshot endpoint.
+
+:class:`LatencyRecorder` is a fixed-size ring of latency samples with
+percentile readout — cheap enough to update on every request, bounded so a
+long-lived serving process cannot grow without limit.
+
+:func:`metrics` is the module-level "scrape" endpoint: it merges the live
+:class:`~repro.serve.runtime.ServeRuntime` snapshots (request/batch/latency
+counters, pool and queue stats) with the process-global instrumentation
+state — ``manager.health()``, ``manager.plan_stats()`` and the kernel
+runtime's launch counters — into one nested dict, the serving analogue of a
+Prometheus scrape.  Runtimes register themselves weakly, so a runtime that
+is garbage-collected (or stopped and dropped) silently leaves the snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+from ..core.manager import manager
+from ..kernels.runtime import runtime as kernel_runtime
+
+__all__ = ["LatencyRecorder", "metrics"]
+
+
+class LatencyRecorder:
+    """Bounded ring buffer of latency samples (seconds) with percentiles."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._ring = np.zeros(max(1, int(capacity)), dtype=np.float64)
+        self._next = 0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self._ring.size
+            self.count += 1
+
+    def snapshot(self) -> dict:
+        """count plus p50/p99/mean/max (ms) over the retained window."""
+        with self._lock:
+            n = min(self.count, self._ring.size)
+            window = self._ring[:n].copy()
+        if n == 0:
+            return {"count": 0, "p50_ms": None, "p99_ms": None,
+                    "mean_ms": None, "max_ms": None}
+        return {
+            "count": self.count,
+            "p50_ms": float(np.percentile(window, 50)) * 1e3,
+            "p99_ms": float(np.percentile(window, 99)) * 1e3,
+            "mean_ms": float(window.mean()) * 1e3,
+            "max_ms": float(window.max()) * 1e3,
+        }
+
+
+# live ServeRuntime instances; weak so stopped-and-dropped runtimes vanish
+_runtimes: "weakref.WeakSet" = weakref.WeakSet()
+_registry_lock = threading.Lock()
+
+
+def _register(runtime) -> None:
+    with _registry_lock:
+        _runtimes.add(runtime)
+
+
+def metrics() -> dict:
+    """One merged observability snapshot for everything currently served.
+
+    ``runtimes`` maps each live runtime's name to its own snapshot;
+    ``health``/``plans``/``kernels`` expose the process-global manager and
+    kernel-runtime state shared by all of them.
+    """
+    with _registry_lock:
+        runtimes = list(_runtimes)
+    return {
+        "runtimes": {rt.name: rt.snapshot() for rt in runtimes},
+        "health": manager.health(),
+        "plans": manager.plan_stats(),
+        "kernels": kernel_runtime.stats(),
+    }

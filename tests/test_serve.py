@@ -1,0 +1,229 @@
+"""Unit tests for the ``repro.serve`` serving runtime components.
+
+Covers the micro-batcher's size/deadline flush semantics, future
+resolution, deterministic per-tenant sampling, end-to-end submit/result,
+drain-on-stop, the sticky lease's idle close, and the metrics endpoint —
+plus regression tests for the falsy-empty-graph fallbacks fixed in the same
+change (an empty ``Graph`` has ``len() == 0`` and is falsy, so truthiness
+checks silently redirected ops to the default graph).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import serve
+from repro.amanda import manager
+from repro.graph import builder as gb
+from repro.graph.core import Graph, default_graph
+from repro.models.graph.builders import build_mlp
+from repro.serve.batcher import MicroBatcher
+from repro.serve.queue import ServeFuture, ServeRequest
+from repro.tools.faulty import FaultyTool
+from repro.tools.pruning import ActivationPruningTool
+
+
+class _FakeTenant:
+    def __init__(self, name):
+        self.name = name
+
+
+def _request(tenant_name="t", sampled=False):
+    return ServeRequest(_FakeTenant(tenant_name), {}, sampled=sampled)
+
+
+class TestMicroBatcher:
+    def test_flush_on_size(self):
+        b = MicroBatcher(max_batch=3, deadline=60.0)
+        for _ in range(3):
+            b.put(_request())
+        batch = b.take(timeout=0.0)
+        assert batch is not None and len(batch) == 3
+        stats = b.stats()
+        assert stats["size_flushes"] == 1
+        assert stats["deadline_flushes"] == 0
+
+    def test_flush_on_deadline(self):
+        b = MicroBatcher(max_batch=64, deadline=0.02)
+        b.put(_request())
+        start = time.monotonic()
+        batch = b.take(timeout=2.0)
+        waited = time.monotonic() - start
+        assert batch is not None and len(batch) == 1
+        assert waited < 1.0, "deadline flush did not preempt the timeout"
+        assert b.stats()["deadline_flushes"] == 1
+
+    def test_batches_partition_by_tenant_and_lane(self):
+        b = MicroBatcher(max_batch=64, deadline=0.0)  # seal immediately
+        b.put(_request("a", sampled=False))
+        b.put(_request("a", sampled=True))
+        b.put(_request("b", sampled=False))
+        keys = set()
+        for _ in range(3):
+            batch = b.take(timeout=1.0)
+            assert batch is not None and len(batch) == 1
+            keys.add(batch[0].key)
+        assert keys == {("a", False), ("a", True), ("b", False)}
+
+    def test_take_returns_none_on_timeout_and_stop_drains(self):
+        b = MicroBatcher(max_batch=4, deadline=60.0)
+        assert b.take(timeout=0.01) is None
+        b.put(_request())
+        b.put(_request())
+        b.stop()  # seals the open batch for draining
+        assert len(b.take(timeout=0.0)) == 2
+        assert b.take(timeout=0.0) is None  # stopped and drained
+        with pytest.raises(RuntimeError):
+            b.put(_request())
+        assert b.pending == 0
+
+
+class TestServeFuture:
+    def test_result_timeout(self):
+        with pytest.raises(TimeoutError):
+            ServeFuture().result(timeout=0.01)
+
+    def test_exception_propagates(self):
+        f = ServeFuture()
+        f.set_exception(ValueError("boom"))
+        assert f.done()
+        with pytest.raises(ValueError, match="boom"):
+            f.result(timeout=0)
+        assert isinstance(f.exception(timeout=0), ValueError)
+
+
+class TestSampling:
+    def test_deterministic_one_in_n(self):
+        model = build_mlp(seed=0)
+        tenant = serve.Tenant("t", model.graph, model.logits,
+                              tools=(ActivationPruningTool(keep_ratio=0.5),),
+                              sample_rate=3)
+        draws = [tenant.draw() for _ in range(9)]
+        assert draws == [True, False, False] * 3
+
+    def test_rate_zero_never_samples(self):
+        model = build_mlp(seed=0)
+        tenant = serve.Tenant("t", model.graph, model.logits,
+                              tools=(ActivationPruningTool(keep_ratio=0.5),),
+                              sample_rate=0)
+        assert not any(tenant.draw() for _ in range(10))
+
+    def test_toolless_tenant_never_samples(self):
+        model = build_mlp(seed=0)
+        tenant = serve.Tenant("t", model.graph, model.logits, sample_rate=1)
+        assert not any(tenant.draw() for _ in range(10))
+
+
+class TestServeRuntime:
+    def test_vanilla_results_match_direct_session(self, rng):
+        model = build_mlp(seed=5)
+        feeds = [{model.inputs: rng.standard_normal((4, 16))}
+                 for _ in range(8)]
+        session = model.session()
+        references = [session.run(model.logits, f) for f in feeds]
+        rt = serve.ServeRuntime("vanilla-match", workers=2, batch_size=4)
+        tenant = rt.register("mlp", model.graph, model.logits)
+        with rt:
+            outs = [rt.request(tenant, f, timeout=30.0) for f in feeds]
+        for out, ref in zip(outs, references):
+            np.testing.assert_array_equal(out, ref)
+        session.close()
+
+    def test_stop_drains_submitted_requests(self, rng):
+        model = build_mlp(seed=6)
+        rt = serve.ServeRuntime("drain", workers=1, batch_size=64,
+                                deadline_ms=10_000.0)
+        tenant = rt.register("mlp", model.graph, model.logits)
+        rt.start()
+        futures = [rt.submit(tenant,
+                             {model.inputs: rng.standard_normal((2, 16))})
+                   for _ in range(6)]
+        # the batch is far from full and its deadline is 10s out; stop()
+        # must still serve everything already submitted
+        rt.stop()
+        for f in futures:
+            assert f.result(timeout=0).shape == (2, 4)
+        assert rt.snapshot()["completed"] == 6
+        with pytest.raises(RuntimeError):
+            rt.submit(tenant, {})
+
+    def test_raise_policy_propagates_to_future(self, rng):
+        model = build_mlp(seed=7)
+        rt = serve.ServeRuntime("raise", workers=1, batch_size=1)
+        tenant = rt.register(
+            "faulty", model.graph, model.logits,
+            tools=(FaultyTool(mode="instrumentation", always=True),),
+            sample_rate=1, error_policy="raise")
+        with rt:
+            future = rt.submit(
+                tenant, {model.inputs: rng.standard_normal((2, 16))})
+            with pytest.raises(Exception):
+                future.result(timeout=30.0)
+        assert rt.snapshot()["tenants"]["faulty"]["errors"] == 1
+
+    def test_lease_closes_when_idle(self, rng):
+        model = build_mlp(seed=8)
+        rt = serve.ServeRuntime("idle", workers=1, batch_size=1)
+        tenant = rt.register(
+            "mlp", model.graph, model.logits,
+            tools=(ActivationPruningTool(keep_ratio=0.5),), sample_rate=1)
+        with rt:
+            rt.request(tenant, {model.inputs: rng.standard_normal((2, 16))},
+                       timeout=30.0)
+            deadline = time.monotonic() + 5.0
+            while manager.active and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # sticky lease must close on idle so an idle serving process
+            # does not keep intercepting unrelated code
+            assert not manager.active
+        assert not manager.active
+
+    def test_metrics_endpoint_shape(self, rng):
+        model = build_mlp(seed=9)
+        rt = serve.ServeRuntime("metrics-shape", workers=1, batch_size=2)
+        tenant = rt.register("mlp", model.graph, model.logits)
+        with rt:
+            rt.request(tenant, {model.inputs: rng.standard_normal((2, 16))},
+                       timeout=30.0)
+            snap = serve.metrics()
+        assert set(snap) == {"runtimes", "health", "plans", "kernels"}
+        mine = snap["runtimes"]["metrics-shape"]
+        assert mine["completed"] == 1
+        lat = mine["tenants"]["mlp"]["latency"]["vanilla"]
+        assert lat["count"] == 1
+        assert lat["p99_ms"] >= lat["p50_ms"] >= 0.0
+        assert "launch_count" in snap["kernels"]
+        assert "compiled" in snap["plans"]
+
+    def test_duplicate_tenant_rejected(self):
+        model = build_mlp(seed=0)
+        rt = serve.ServeRuntime("dup")
+        rt.register("mlp", model.graph, model.logits)
+        with pytest.raises(ValueError):
+            rt.register("mlp", model.graph, model.logits)
+        rt.stop()
+
+
+class TestEmptyGraphFallbacks:
+    """A fresh explicit ``Graph()`` is falsy; fallbacks must check identity."""
+
+    def test_default_graph_honors_fresh_empty_graph(self):
+        g = Graph()
+        assert len(g) == 0 and not g  # the hazard: empty graphs are falsy
+        with default_graph(g) as active:
+            assert active is g
+            gb.placeholder(name="x")
+        assert len(g) == 1
+
+    def test_group_with_no_ops_targets_explicit_graph(self):
+        g = Graph()
+        op = gb.group([], graph=g)
+        assert op.graph is g
+
+    def test_py_call_with_no_inputs_targets_explicit_graph(self):
+        g = Graph()
+        op = gb.py_call(lambda: np.zeros(2), [], graph=g)
+        assert op.graph is g

@@ -1,0 +1,217 @@
+"""Hammer tests for the shared hot path the serving runtime leans on.
+
+These are the regression tests for the concurrency bugs fixed alongside
+``repro.serve``: the session plan cache was an unlocked OrderedDict (LRU
+reorder + eviction raced), the manager's health counters were unsynchronized
+(lost updates under concurrent failures), and the allocation tracker shared
+one scope stack across threads.  Each test drives the structure from many
+threads with a tiny switch interval to force interleavings, then asserts
+*exact* counts — a lost update shows up as an off-by-N, not a flake.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+from repro.amanda import manager
+from repro.core.faults import InstrumentationError, Provenance
+from repro.eager import alloc
+from repro.models.graph.builders import build_mlp
+
+THREADS = 8
+
+
+@pytest.fixture(autouse=True)
+def _aggressive_preemption():
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(old)
+
+
+def _run_threads(worker, n=THREADS):
+    errors: list[BaseException] = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except BaseException as e:  # noqa: BLE001 - surfaced via assert
+            errors.append(e)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+
+
+class TestPlanCacheHammer:
+    def test_shared_session_concurrent_fetch_sets(self, rng):
+        """8 threads cycle >cache-size fetch sets on one session.
+
+        Unlocked, the OrderedDict's move_to_end/insert/popitem interleave and
+        either KeyError, over-evict, or grow past the bound; locked, every
+        result is bit-identical to its serial reference and run_count is
+        exact (no lost update on the counter either).
+        """
+        model = build_mlp(seed=3)
+        session = model.session()
+        feed = {model.inputs: rng.standard_normal((4, 16))}
+        # >= 5 distinct fetch tuples, all pure-forward (only the input
+        # placeholder is fed), so references are deterministic
+        forward = [op for op in model.graph.operations
+                   if op.type in ("MatMul", "Relu", "BiasAdd")]
+        fetches = [op.outputs[0] for op in forward[:5]] + [model.logits]
+        assert len(fetches) >= 5
+        iterations = 30
+        with amanda.plan_cache_size(3), amanda.arena_reuse(False):
+            references = [session.run(t, feed) for t in fetches]
+
+            def worker(i):
+                for k in range(iterations):
+                    j = (i + k) % len(fetches)
+                    out = session.run(fetches[j], feed)
+                    np.testing.assert_array_equal(out, references[j])
+
+            _run_threads(worker)
+            assert len(session._plan_cache) <= 3
+        assert session.run_count == len(fetches) + THREADS * iterations
+        session.close()
+
+    def test_single_plan_compiled_once_per_fetch_set(self, rng):
+        """Concurrent first-touch of one fetch set compiles exactly one plan."""
+        model = build_mlp(seed=4)
+        session = model.session()
+        feed = {model.inputs: rng.standard_normal((2, 16))}
+        barrier = threading.Barrier(THREADS)
+        plans = []
+        with amanda.arena_reuse(False):
+            def worker(i):
+                barrier.wait()
+                session.run(model.logits, feed)
+                plans.append(next(iter(session._plan_cache.values())))
+
+            _run_threads(worker)
+        assert len(session._plan_cache) == 1
+        assert len({id(p) for p in plans}) == 1, \
+            "racing threads compiled duplicate plans for one fetch set"
+        session.close()
+
+
+class TestHealthHammer:
+    FAILURES_PER_THREAD = 200
+
+    def _failure(self, thread: int, k: int) -> InstrumentationError:
+        return InstrumentationError(
+            ValueError(f"boom-{thread}-{k}"),
+            Provenance(tool=f"tool{thread % 4}", op_id=k,
+                       op_type="relu", i_point="before_forward_op"),
+            phase="analysis")
+
+    def test_concurrent_failures_and_readers(self):
+        """8 writers x 200 failures with concurrent health() readers.
+
+        The unlocked counters lost increments (read-modify-write on the
+        dict) and readers crashed on mid-append list state; locked, the
+        total is exact, every breakdown sums to it, and each reader's
+        snapshot is internally consistent.
+        """
+        manager.reset_health()
+        stop = threading.Event()
+        snapshots = []
+
+        def reader():
+            while not stop.is_set():
+                report = manager.health()
+                assert report["errors"] == sum(report["by_tool"].values())
+                snapshots.append(report)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for r in readers:
+            r.start()
+        try:
+            def worker(i):
+                for k in range(self.FAILURES_PER_THREAD):
+                    manager.record_failure(self._failure(i, k))
+
+            _run_threads(worker)
+        finally:
+            stop.set()
+            for r in readers:
+                r.join()
+
+        total = THREADS * self.FAILURES_PER_THREAD
+        report = manager.health()
+        assert report["errors"] == total
+        assert sum(report["by_tool"].values()) == total
+        assert sum(report["by_i_point"].values()) == total
+        assert sum(report["by_op"].values()) == total
+        assert len(report["recent"]) == manager.MAX_RECORDED_ERRORS
+        assert snapshots, "readers never observed a snapshot"
+        manager.reset_health()
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        manager.reset_health()
+        manager.record_failure(self._failure(0, 0))
+        report = manager.health()
+        before = report["by_tool"].copy()
+        manager.record_failure(self._failure(0, 1))
+        assert report["by_tool"] == before, \
+            "health() returned live references, not a deep-copied snapshot"
+        manager.reset_health()
+
+    def test_concurrent_quarantine_is_idempotent(self):
+        manager.reset_health()
+        epoch = manager.tool_epoch
+
+        def worker(i):
+            manager.quarantine("flaky")
+
+        _run_threads(worker)
+        assert manager.quarantined == {"flaky"}
+        # idempotent: 8 racing quarantines of one tool bump the epoch once
+        assert manager.tool_epoch == epoch + 1
+        manager.clear_quarantine()
+        manager.reset_health()
+
+
+class TestAllocTrackerHammer:
+    PER_THREAD = 500
+
+    def test_scope_stacks_are_thread_local_and_counts_exact(self):
+        """Half the threads attribute to "tool", half to "amanda".
+
+        With the old shared scope stack, one thread's push re-attributed
+        concurrent threads' allocations (cross-scope bleed); with unlocked
+        counters, increments were lost.  Both show up as inexact totals.
+        """
+        tracker = alloc.tracker
+        tracker.reset()
+
+        def worker(i):
+            name = "tool" if i % 2 else "amanda"
+            tracker.push_scope(name)
+            try:
+                for _ in range(self.PER_THREAD):
+                    assert tracker.current_scope == name
+                    scope = tracker.allocate(16)
+                    assert scope == name, "allocation bled into another scope"
+                    tracker.release(16, scope)
+            finally:
+                tracker.pop_scope()
+            assert tracker.current_scope == "dnn"
+
+        _run_threads(worker)
+        snap = tracker.snapshot()
+        expected = (THREADS // 2) * self.PER_THREAD * 16
+        assert snap["total"]["tool"] == expected
+        assert snap["total"]["amanda"] == expected
+        assert snap["live"]["tool"] == 0
+        assert snap["live"]["amanda"] == 0
+        tracker.reset()
