@@ -25,8 +25,8 @@ _sys.modules[__name__ + ".tools"] = tools
 from ..core.actions import Action, ActionType, IPoint
 from ..core.config import (Config, arena_reuse, batch_deadline_ms,
                            capture_enabled, config, effect_analysis,
-                           num_workers, plan_cache_size, sample_rate,
-                           serve_batch, serve_workers)
+                           memory_budget, num_workers, plan_cache_size,
+                           sample_rate, serve_batch, serve_workers)
 from ..core.context import OpContext
 from ..core.faults import (ERROR_POLICIES, InstrumentationError, Provenance)
 from ..core.ids import LinearCongruentialGenerator, OpIdAssigner
@@ -45,4 +45,5 @@ __all__ = [
     "Provenance", "ERROR_POLICIES", "Config", "config", "num_workers",
     "effect_analysis", "arena_reuse", "plan_cache_size", "capture_enabled",
     "serve_workers", "sample_rate", "batch_deadline_ms", "serve_batch",
+    "memory_budget",
 ]

@@ -176,11 +176,69 @@ def _races_main(argv: list[str]) -> int:
     return 0 if failures == 0 else 1
 
 
+def _remat_example(name: str, build, feeds, budget: int | None) -> int:
+    from .remat import plan_remat_for_graph
+
+    gm = build()
+    fetches = [gm.loss] + ([gm.train_op] if gm.train_op is not None else [])
+    unbudgeted = plan_remat_for_graph(gm.graph, fetches, budget=1 << 62,
+                                      feed_shapes=feeds)
+    baseline = unbudgeted.peak_bytes
+    target = budget if budget is not None else int(baseline * 0.6)
+    schedule = plan_remat_for_graph(gm.graph, fetches, budget=target,
+                                    feed_shapes=feeds)
+    verdict = "fits" if schedule.feasible else "EXCEEDS"
+    print(f"{'ok  ' if schedule.feasible else 'over'} {name}: "
+          f"budget {target / 1024:.1f} KiB, "
+          f"baseline {baseline / 1024:.1f} KiB -> "
+          f"peak {schedule.peak_bytes / 1024:.1f} KiB ({verdict}, "
+          f"{schedule.num_recomputes} recomputes over "
+          f"{len(schedule.evicted)} evicted ops, "
+          f"+{schedule.recompute_flops} FLOPs)")
+    return 0
+
+
+def _remat_main(argv: list[str]) -> int:
+    from ..core.config import _parse_bytes
+
+    examples = _build_examples()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis remat",
+        description="static rematerialization schedules for the example "
+                    "models: budget vs simulated peak")
+    parser.add_argument("examples", nargs="*", metavar="example",
+                        help=f"examples to analyze (default: all of "
+                             f"{', '.join(sorted(examples))})")
+    parser.add_argument("--budget", default=None, metavar="BYTES",
+                        help="memory budget (accepts suffixes, e.g. 3M); "
+                             "default: 60%% of each model's liveness bound")
+    args = parser.parse_args(argv)
+    unknown = sorted(set(args.examples) - set(examples))
+    if unknown:
+        parser.error(f"unknown example(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(sorted(examples))})")
+    budget = _parse_bytes(args.budget) if args.budget is not None else None
+
+    np.seterr(all="ignore")
+    failures = 0
+    for name in args.examples or sorted(examples):
+        build, feeds = examples[name]
+        try:
+            failures += _remat_example(name, build, feeds, budget)
+        except Exception as exc:  # planning must never crash on the zoo
+            print(f"FAIL {name}: {type(exc).__name__}: {exc}")
+            failures += 1
+    print("PASS" if failures == 0 else f"FAIL ({failures} failing checks)")
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "races":
         return _races_main(argv[1:])
+    if argv and argv[0] == "remat":
+        return _remat_main(argv[1:])
     examples = _build_examples()
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",

@@ -37,14 +37,14 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Callable, Mapping, Sequence
 
-from ..graph.core import Operation
+from ..graph.core import SKIP_TYPES, Operation
 from .schemas import GRAPH_SCHEMAS, SchemaError
 
 __all__ = [
     "EffectSig", "PURE", "OPAQUE", "RNG_KEY", "ORDERED_EVENTS_KEY",
     "GRAPH_EFFECTS", "register_graph_effect", "effect_signature",
-    "normalize_effects", "Conflict", "RaceReport", "analyze_plan",
-    "missing_effect_signatures", "stale_effect_signatures",
+    "recomputable", "normalize_effects", "Conflict", "RaceReport",
+    "analyze_plan", "missing_effect_signatures", "stale_effect_signatures",
     "check_effects_complete",
 ]
 
@@ -236,6 +236,23 @@ def effect_signature(op: Operation) -> EffectSig:
     sig = rule(op) if rule is not None else OPAQUE
     op.tags[_MEMO_TAG] = sig
     return sig
+
+
+def recomputable(op: Operation) -> bool:
+    """Whether the rematerialization pass may re-execute ``op``.
+
+    Only effect-*pure* ops qualify: re-running a state reader could observe a
+    later write, a writer/RNG op would apply its effect twice, and an opaque
+    op cannot be bounded at all.  ``PyCall`` is pinned even when declared
+    pure — its callback is an externally observable tool routine (a profiler
+    counting invocations must not see instrumentation points fire twice) —
+    and ``NoOp`` anchors carry no value worth evicting.  Seeded dropout *is*
+    recomputable (:func:`_dropout_rule` classifies it pure): the recompute
+    reseeds ``default_rng(seed)`` and replays the identical mask.
+    """
+    if op.type in SKIP_TYPES:
+        return False
+    return effect_signature(op).pure
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,13 @@ Two schedule modes mirror the session's two executors:
   parallel executor does at its level barriers — so the wavefront estimate
   is a sound upper bound on the parallel runtime's activation peak.
 
+A third mode, ``schedule_mode="remat"``, runs the static rematerialization
+planner (:mod:`repro.analysis.remat`) against ``budget`` and reports the
+*budgeted* schedule: the instance order (recomputes repeated), its simulated
+peak, and the :class:`~repro.analysis.remat.RematSchedule` itself on
+``report.remat``.  With ``budget=0`` it reports the planner's floor — the
+smallest peak maximal eviction can reach.
+
 The result is directly comparable to the *dynamic* activation-liveness peak
 measured by :class:`repro.tools.memory.MemoryProfilingTool` (same
 alloc-at-producer / free-after-last-consumer model); a unit test cross-checks
@@ -67,6 +74,10 @@ class LivenessReport:
     arena_capacity_bytes: int = 0
     arena_growths: int = 0
     arena_reuses: int = 0
+    #: remat mode only: the budget the planner targeted and the resulting
+    #: :class:`repro.analysis.remat.RematSchedule` (None in other modes)
+    budget: int = 0
+    remat: object | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -102,7 +113,8 @@ def estimate_liveness(graph: Graph, fetches=None,
                       exclude_types: Iterable[str] = ("Variable", "Const",
                                                       "Placeholder"),
                       dtype_bytes: int = _DTYPE_BYTES,
-                      schedule_mode: str = "serial") -> LivenessReport:
+                      schedule_mode: str = "serial",
+                      budget: int = 0) -> LivenessReport:
     """Estimate the activation-liveness memory peak without executing.
 
     ``exclude_types`` removes parameter/input storage from the accounting so
@@ -114,10 +126,17 @@ def estimate_liveness(graph: Graph, fetches=None,
     happen at level barriers (after an intermediate's last consuming *level*),
     so the reported peak upper-bounds what ``Session`` can reach with any
     worker count.
+
+    ``schedule_mode="remat"`` simulates the memory-budgeted executor: the
+    rematerialization planner schedules evictions and recomputes against
+    ``budget`` (bytes, using this report's own byte accounting), the
+    instance order lands in ``report.schedule`` (recomputed ops repeat) and
+    the schedule itself in ``report.remat``.  The arena simulation is
+    skipped in this mode (lifetimes are per instance, not per op).
     """
-    if schedule_mode not in ("serial", "wavefront"):
+    if schedule_mode not in ("serial", "wavefront", "remat"):
         raise ValueError(f"unknown schedule_mode {schedule_mode!r}; "
-                         "expected 'serial' or 'wavefront'")
+                         "expected 'serial', 'wavefront' or 'remat'")
     verifier = GraphVerifier(graph, feed_shapes=feed_shapes)
     verifier.run()
     shapes = verifier.report.shapes
@@ -153,6 +172,9 @@ def estimate_liveness(graph: Graph, fetches=None,
          else fetch.name if isinstance(fetch, Operation)
          else str(fetch).partition(":")[0])
         for fetch in fetches}
+    if schedule_mode == "remat":
+        _sweep_remat(report, plan, fetched, budget)
+        return report
     if schedule_mode == "wavefront":
         _sweep_wavefront(report, plan, position, fetched)
         _simulate_arena(report, plan, shapes, dtype_bytes)
@@ -227,6 +249,48 @@ def _simulate_arena(report: LivenessReport, plan: list[Operation],
         for name in frees_at.get(step, ()):
             for bucket in buckets_of(by_name[name]):
                 free[bucket] = free.get(bucket, 0) + 1
+
+
+def _sweep_remat(report: LivenessReport, plan: list[Operation],
+                 fetched: set[str], budget: int) -> None:
+    """Budgeted sweep: replay the rematerialization planner's schedule.
+
+    The planner consumes this report's own per-op byte accounting (so the
+    include/exclude knobs apply), plus the race analysis' serialization
+    edges — the same inputs ``CompiledPlan`` hands it at lowering time.
+    ``lifetime`` maps each op to (first birth, last release) across all of
+    its incarnations.
+    """
+    from .remat import plan_remat  # local: liveness is imported by remat CLI
+    schedule = plan_remat(plan, sorted(fetched), budget, report.output_bytes,
+                          extra_deps=analyze_plan(plan).extra_edges)
+    report.budget = budget
+    report.remat = schedule
+    report.schedule = [plan[j].name for j in schedule.instances]
+    live = 0
+    for t, j in enumerate(schedule.instances):
+        live += report.output_bytes[plan[j].name]
+        if live > report.peak_bytes:
+            report.peak_bytes = live
+            report.peak_step = t
+            report.peak_op = plan[j].name
+        for u in schedule.release_after_step[t]:
+            live -= report.output_bytes[plan[schedule.instances[u]].name]
+    births: dict[str, int] = {}
+    ends: dict[str, int] = {}
+    for t, j in enumerate(schedule.instances):
+        name = plan[j].name
+        births.setdefault(name, t)
+        ends[name] = t
+    for t, released in enumerate(schedule.release_after_step):
+        for u in released:
+            name = plan[schedule.instances[u]].name
+            ends[name] = max(ends[name], t)
+    for name in report.schedule:
+        if name in fetched:
+            ends[name] = len(schedule.instances) - 1
+    for op in plan:
+        report.lifetime[op.name] = (births[op.name], ends[op.name])
 
 
 def _sweep_wavefront(report: LivenessReport, plan: list[Operation],

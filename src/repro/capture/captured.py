@@ -84,6 +84,34 @@ def guard_key(module: Module, args: tuple, kwargs: dict,
     return tuple(spec)
 
 
+def _fuse_captured(key: tuple, graph: Graph,
+                   fetches: list[GraphTensor]) -> tuple[Graph, list, dict]:
+    """Route a captured graph through operator fusion before compilation.
+
+    Elementwise runs in the trace collapse into ``FusedElementwise`` ops, so
+    plan compilation (and the rematerialization planner, which treats a fused
+    chain as one keep-vs-recompute unit) sees the optimized graph.  Forward
+    ops a captured backward reads are control targets and survive untouched
+    (their OpCtx stash must keep happening); fetched ops are protected.
+    Returns ``(graph, fetches, report)`` — the originals when nothing fused.
+    """
+    from ..graph.fusion import fuse_graph
+    fused, report = fuse_graph(graph,
+                               protected={t.op.name for t in fetches})
+    if not report:
+        graph.guard_token = key
+        return graph, fetches, report
+    for name in report:
+        # a pinned consumer may stash the fused output by reference in its
+        # backward OpCtx; keep fused outputs out of the arena pool so the
+        # stash outlives any buffer recycling
+        fused.get_operation(name).tags["no_pool"] = True
+    fused.guard_token = key
+    remapped = [fused.get_operation(t.op.name).outputs[t.index]
+                for t in fetches]
+    return fused, remapped, report
+
+
 def _untraceable_args(args: tuple, kwargs: dict) -> str | None:
     for value in list(args) + list(kwargs.values()):
         if isinstance(value, np.ndarray) \
@@ -182,6 +210,8 @@ class _Bucket:
     single_output: bool = True
     #: (variable name, owning eager tensor) for every lifted param/buffer
     aliases: list = field(default_factory=list)
+    #: fused op name -> original op types (graph.fusion provenance)
+    fusion_report: dict = field(default_factory=dict)
     # training-step extras
     leaf_params: list = field(default_factory=list)
     grad_feeds: list = field(default_factory=list)
@@ -301,7 +331,8 @@ class CapturedModule:
         if tracer.num_ops == 0:
             bucket.poisoned = "trace recorded no operators"
             return bucket
-        graph.guard_token = key
+        graph, bucket.fetches, bucket.fusion_report = \
+            _fuse_captured(key, graph, bucket.fetches)
         bucket.graph = graph
         bucket.session = Session(graph)
         bucket.aliases = [(name, owners[name]) for name in tracer.lifted]
@@ -430,10 +461,12 @@ class CapturedStep:
             return bucket
         finally:
             _restore_state(snapshot)
-        graph.guard_token = key
+        fetches = [loss_sym] + list(leaf_fetches)
+        graph, fetches, bucket.fusion_report = \
+            _fuse_captured(key, graph, fetches)
         bucket.graph = graph
         bucket.session = Session(graph)
-        bucket.fetches = [loss_sym] + list(leaf_fetches)
+        bucket.fetches = fetches
         bucket.aliases = [(name, owners[name]) for name in tracer.lifted]
         bucket.leaf_params = leaf_params
         bucket.grad_feeds = grad_feeds

@@ -52,6 +52,15 @@ Current knobs:
 * ``serve_batch`` (env ``AMANDA_SERVE_BATCH``, default ``8``) — micro-batch
   size at which the serving queue seals a batch immediately (flush on
   batch-size; the deadline above flushes partial batches).
+* ``memory_budget`` (env ``AMANDA_MEMORY_BUDGET``, default ``0`` = off) —
+  activation-memory budget in bytes for the graph executor.  Accepts plain
+  integers or ``K``/``M``/``G`` suffixes (``"512M"``).  With a budget set,
+  plan compilation runs the static rematerialization pass
+  (:mod:`repro.analysis.remat`): when the liveness bound exceeds the budget,
+  effect-pure intermediates are evicted at their scheduled last use and
+  recomputed before later consumers, trading FLOPs for peak memory.  ``0``
+  disables budgeting entirely (no remat lowering, no per-step releases in
+  the serial executor without the arena).
 """
 
 from __future__ import annotations
@@ -62,7 +71,7 @@ from contextlib import contextmanager
 __all__ = ["Config", "config", "num_workers", "effect_analysis",
            "arena_reuse", "plan_cache_size", "capture_enabled",
            "serve_workers", "sample_rate", "batch_deadline_ms",
-           "serve_batch"]
+           "serve_batch", "memory_budget"]
 
 
 def _parse_workers(value: str | int | None, default: int = 1) -> int:
@@ -118,6 +127,28 @@ def _parse_rate(value: str | int | None, default: int) -> int:
     return max(0, rate)
 
 
+def _parse_bytes(value: str | int | None, default: int = 0) -> int:
+    """Parse a byte count with optional K/M/G suffix; 0 (or junk) = off."""
+    if value is None:
+        return default
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if not text:
+            return default
+        scale = 1
+        if text[-1] in "kmg":
+            scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+            text = text[:-1]
+        try:
+            return max(0, int(float(text) * scale))
+        except (TypeError, ValueError):
+            return default
+    try:
+        return max(0, int(value))
+    except (TypeError, ValueError):
+        return default
+
+
 def _parse_ms(value: str | float | None, default: float) -> float:
     """Parse a non-negative duration in milliseconds."""
     if value is None:
@@ -153,6 +184,8 @@ class Config:
             os.environ.get("AMANDA_BATCH_DEADLINE_MS"), default=2.0)
         self.serve_batch = _parse_bound(
             os.environ.get("AMANDA_SERVE_BATCH"), default=8)
+        self.memory_budget = _parse_bytes(
+            os.environ.get("AMANDA_MEMORY_BUDGET"), default=0)
 
     def set_num_workers(self, workers: int | str) -> None:
         self.num_workers = _parse_workers(workers)
@@ -166,7 +199,8 @@ class Config:
                 f"serve_workers={self.serve_workers}, "
                 f"sample_rate={self.sample_rate}, "
                 f"batch_deadline_ms={self.batch_deadline_ms}, "
-                f"serve_batch={self.serve_batch})")
+                f"serve_batch={self.serve_batch}, "
+                f"memory_budget={self.memory_budget})")
 
 
 #: process-global configuration instance (``amanda.config``)
@@ -259,6 +293,21 @@ def batch_deadline_ms(deadline: float):
         yield config
     finally:
         config.batch_deadline_ms = previous
+
+
+@contextmanager
+def memory_budget(budget: int | str):
+    """Scope-override the executor memory budget (``amanda.memory_budget``).
+
+    Accepts bytes or a ``K``/``M``/``G``-suffixed string; ``0`` disables
+    budgeting for the scope.
+    """
+    previous = config.memory_budget
+    config.memory_budget = _parse_bytes(budget, default=previous)
+    try:
+        yield config
+    finally:
+        config.memory_budget = previous
 
 
 @contextmanager

@@ -63,6 +63,24 @@ def _compute_fused_matmul(op, inputs, runtime):
 #: execution produces bit-identical values *and* kernel event streams.
 _EWISE_UNARY = ("Neg", "Square", "Sqrt", "Relu", "Tanh")
 _EWISE_BINARY = ("Add", "Sub", "Mul", "RealDiv")
+
+#: captured graphs spell the same elementwise ops with their eager names
+#: (lowercase, attr-free); fusion canonicalizes them so captured chains fuse
+#: exactly like builder-built ones.  Forward ops a captured backward reads
+#: are control targets and therefore never absorbed (their OpCtx stash must
+#: keep happening), so this only fuses chains with no backward readers.
+_CAPTURED_EWISE = {"add": "Add", "sub": "Sub", "mul": "Mul",
+                   "div": "RealDiv", "neg": "Neg", "sqrt": "Sqrt",
+                   "relu": "Relu", "tanh": "Tanh"}
+
+
+def _canon_ewise(op: Operation) -> str | None:
+    """Canonical elementwise type of a fusable op, or None."""
+    if op.type in _EWISE_UNARY or op.type in _EWISE_BINARY:
+        return op.type
+    if not op.attrs:
+        return _CAPTURED_EWISE.get(op.type)
+    return None
 _EWISE_BINARY_KERNELS = {
     "Add": ("ewise_add", np.add),
     "Sub": ("ewise_sub", np.subtract),
@@ -112,8 +130,12 @@ def _compute_fused_elementwise(op, inputs, runtime):
     else:
         operands = (inputs[0],)
         pos = 1
-    value = _apply_ewise(head_type, *operands,
-                         out=_pool_out(runtime, *operands))
+    # captured graphs tag fused ops no_pool: a pinned consumer may stash the
+    # fused output by reference in its backward OpCtx, which must outlive
+    # any arena recycling of the buffer
+    head_out = (None if op.tags.get("no_pool")
+                else _pool_out(runtime, *operands))
+    value = _apply_ewise(head_type, *operands, out=head_out)
     for op_type, side in chain[1:]:
         if op_type in _EWISE_BINARY_KERNELS:
             other = inputs[pos]
@@ -123,7 +145,9 @@ def _compute_fused_elementwise(op, inputs, runtime):
             ok = _reusable(value, shape) and (
                 not isinstance(other, np.ndarray)
                 or other.dtype == np.float64)
-            out = value if ok else _pool_out(runtime, a, b)
+            out = value if ok else (
+                None if op.tags.get("no_pool")
+                else _pool_out(runtime, a, b))
             value = _apply_ewise(op_type, a, b, out=out)
         else:
             out = value if _reusable(value, np.shape(value)) else None
@@ -152,6 +176,8 @@ def fuse_graph(graph: Graph,
     """
     protected = protected or set()
     clone, mapping = copy_graph(graph)
+    # captured graphs carry their guard key here; replay relies on it
+    clone.guard_token = graph.guard_token
     report: dict[str, list[str]] = {}
     consumed: set[str] = set()
 
@@ -221,8 +247,7 @@ def fuse_graph(graph: Graph,
                        for dep in candidate.control_inputs}
 
     def _chainable(candidate: Operation) -> bool:
-        return ((candidate.type in _EWISE_UNARY
-                 or candidate.type in _EWISE_BINARY)
+        return (_canon_ewise(candidate) is not None
                 and len(candidate.outputs) == 1
                 and candidate.name not in consumed
                 and candidate.name not in protected
@@ -239,23 +264,24 @@ def fuse_graph(graph: Graph,
         if any(_is_extension(edge.op, op) for edge in op.inputs):
             continue  # mid-chain: the head's walk will absorb it
         chain = [op]
-        spec: list[tuple[str, int | None]] = [(op.type, None)]
+        spec: list[tuple[str, int | None]] = [(_canon_ewise(op), None)]
         external = list(op.inputs)
         cursor = op
         while True:
             nxt = _single_consumer(clone, cursor)
             if nxt is None or not _chainable(nxt):
                 break
-            if nxt.type in _EWISE_BINARY:
+            canon = _canon_ewise(nxt)
+            if canon in _EWISE_BINARY:
                 feeds0 = nxt.inputs[0].op is cursor
                 feeds1 = nxt.inputs[1].op is cursor
                 if feeds0 and feeds1:
                     break  # both operands come from the chain value
                 side = 0 if feeds0 else 1
-                spec.append((nxt.type, side))
+                spec.append((canon, side))
                 external.append(nxt.inputs[1 - side])
             else:
-                spec.append((nxt.type, None))
+                spec.append((canon, None))
             chain.append(nxt)
             cursor = nxt
         if len(chain) < 2:

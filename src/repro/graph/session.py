@@ -208,9 +208,11 @@ class CompiledPlan:
                  "races", "serial_only_reason", "legacy_serial_reason",
                  "num_slots", "slot_base", "input_slots", "output_base",
                  "computes", "level_indices", "release_levels",
-                 "release_after_step")
+                 "release_after_step", "remat", "remat_error")
 
-    def __init__(self, ops: list[Operation], fetch_ops: tuple[str, ...]):
+    def __init__(self, ops: list[Operation], fetch_ops: tuple[str, ...],
+                 memory_budget: int = 0,
+                 feed_shapes: dict[str, tuple] | None = None):
         # lazy import: the analysis package sits above the graph core in the
         # layering (same pattern as the graph driver's verifier import)
         from ..analysis.effects import analyze_plan
@@ -269,6 +271,47 @@ class CompiledPlan:
         self.release_after_step: list[tuple[int, ...]] = [
             tuple(step) for step in steps]
 
+        # -- memory-budgeted lowering (amanda.config.memory_budget) ----------
+        # with a budget the static rematerialization pass replaces the
+        # executable arrays above with a per-*instance* schedule: evicted
+        # intermediates are freed at their scheduled last use and republished
+        # by recompute instances (extra slot-table entries over the same
+        # slots) before later consumers run
+        self.remat = None
+        self.remat_error: str | None = None
+        if memory_budget > 0 and ops:
+            try:
+                self._lower_remat(ops, fetch_ops, memory_budget, feed_shapes)
+            except Exception as exc:  # budgeting must never break execution
+                self.remat = None
+                self.remat_error = f"{type(exc).__name__}: {exc}"
+
+    def _lower_remat(self, ops: list[Operation], fetch_ops: tuple[str, ...],
+                     budget: int, feed_shapes: dict | None) -> None:
+        from ..analysis.remat import op_costs, plan_remat
+        bytes_of, flops_of, _unknown = op_costs(
+            ops, ops[0].graph, feed_shapes=feed_shapes)
+        schedule = plan_remat(ops, fetch_ops, budget, bytes_of, flops_of,
+                              extra_deps=self.races.extra_edges)
+        self.remat = schedule
+        # slot table and base positions are untouched: a recompute instance
+        # republishes the *same* slots its op always owned
+        inst_ops = [ops[i] for i in schedule.instances]
+        self.ops = inst_ops
+        self.computes = [COMPUTE.get(op.type) for op in inst_ops]
+        self.input_slots = [
+            tuple(self.slot_base[edge.op.name] + edge.index
+                  for edge in op.inputs)
+            for op in inst_ops]
+        self.output_base = [self.slot_base[op.name] for op in inst_ops]
+        self.level_indices = [tuple(level) for level in schedule.levels]
+        self.release_levels = [tuple(level) for level in schedule.release_levels]
+        self.release_after_step = list(schedule.release_after_step)
+        self.levels = [[inst_ops[t] for t in level]
+                       for level in schedule.levels]
+        self.release_after_level = [[inst_ops[t].name for t in level]
+                                    for level in schedule.release_levels]
+
     @staticmethod
     def _classify_legacy(ops: list[Operation]) -> str | None:
         """Pre-effect-system whole-plan verdict (``effect_analysis`` off)."""
@@ -286,9 +329,13 @@ class CompiledPlan:
         return self.serial_only_reason is None
 
     def __repr__(self) -> str:
+        remat = ""
+        if self.remat is not None:
+            remat = (f", remat={self.remat.num_recomputes} recomputes"
+                     f"/{self.remat.budget}B budget")
         return (f"CompiledPlan({len(self.ops)} ops, {len(self.levels)} levels, "
                 f"parallel_safe={self.parallel_safe}, "
-                f"{len(self.races.conflicts)} serialized pairs)")
+                f"{len(self.races.conflicts)} serialized pairs{remat})")
 
 
 class Session:
@@ -303,6 +350,13 @@ class Session:
         self.hooks: list[SessionRunHook] = list(hooks or [])
         #: LRU-ordered plan cache, bounded by ``config.plan_cache_size``
         self._plan_cache: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        #: plan-cache key -> tenant that compiled it (None outside serving)
+        self._plan_owner: dict[tuple, str | None] = {}
+        #: set by the serving runtime before each batch: entries compiled
+        #: while set are charged to this tenant, and eviction respects
+        #: per-tenant quotas (a tenant cycling budget-variant plans evicts
+        #: its own entries before touching another tenant's hot plans)
+        self.cache_tenant: str | None = None
         #: guards the plan cache and lazily-created executor/arena: ``run()``
         #: is safe to call from concurrent threads on a shared session (the
         #: serving runtime's hammer case) — LRU reorder, eviction and
@@ -326,6 +380,10 @@ class Session:
         #: kind, fallback reason, and every serialized op with its
         #: effect-conflict reason
         self.last_serialization_report: SerializationReport | None = None
+        #: the plan the most recent run executed — diagnostic access to the
+        #: rematerialization schedule (``last_compiled.remat``) under a
+        #: memory budget
+        self.last_compiled: CompiledPlan | None = None
 
     @property
     def last_fallback_reason(self) -> str | None:
@@ -383,12 +441,22 @@ class Session:
             feed[name] = arr
         return feed
 
-    def _plan(self, graph: Graph, fetch_ops: tuple[str, ...]) -> CompiledPlan:
+    def _plan(self, graph: Graph, fetch_ops: tuple[str, ...],
+              memory_budget: int = 0,
+              feed_shapes: dict[str, tuple] | None = None) -> CompiledPlan:
         # the whole lookup-or-compile is one critical section: unlocked, a
         # concurrent get/move_to_end/insert/evict on the OrderedDict corrupts
         # the LRU order (or double-evicts) the first time two run() calls
         # share a session — the serving runtime's baseline workload
         key = graph.fingerprint() + (fetch_ops,)
+        if memory_budget > 0:
+            # the remat schedule depends on the budget and on the feed shapes
+            # (byte costs), so budget variants get distinct cache entries; the
+            # fingerprint stays in key[:3] so stale-version eviction below
+            # keeps working unchanged
+            shapes_key = (tuple(sorted(feed_shapes.items()))
+                          if feed_shapes else ())
+            key = key + (memory_budget, shapes_key)
         with self._state_lock:
             compiled = self._plan_cache.get(key)
             if compiled is not None:
@@ -401,20 +469,54 @@ class Session:
                      if cached[0] == key[0] and cached[:3] != key[:3]]
             for cached in stale:
                 del self._plan_cache[cached]
+                self._plan_owner.pop(cached, None)
             plan = topo_plan([graph.get_operation(name) for name in fetch_ops])
-            compiled = CompiledPlan(plan, fetch_ops)
+            compiled = CompiledPlan(plan, fetch_ops,
+                                    memory_budget=memory_budget,
+                                    feed_shapes=feed_shapes)
             self._plan_cache[key] = compiled
+            self._plan_owner[key] = self.cache_tenant
             # distinct fetch tuples (and distinct graphs) are evicted
             # LRU-first: a long-lived session cycling fetch sets stays bounded
             bound = max(1, config.plan_cache_size)
             while len(self._plan_cache) > bound:
-                self._plan_cache.popitem(last=False)
+                victim = self._cache_victim(bound)
+                del self._plan_cache[victim]
+                self._plan_owner.pop(victim, None)
             return compiled
+
+    def _cache_victim(self, bound: int) -> tuple:
+        """The plan-cache key to evict: quota-aware LRU.
+
+        With multiple tenants charged (serving), each gets an equal share of
+        the bound; the oldest entry of any tenant *over* its share goes
+        first, so one tenant churning through plan variants (e.g. per-budget
+        remat schedules) cannot evict another tenant's hot plans.  With one
+        or no tenants this degrades to plain LRU.
+        """
+        owners = {owner for owner in self._plan_owner.values()
+                  if owner is not None}
+        if len(owners) > 1:
+            quota = max(1, bound // len(owners))
+            counts: dict[str, int] = {}
+            for owner in self._plan_owner.values():
+                if owner is not None:
+                    counts[owner] = counts.get(owner, 0) + 1
+            for key in self._plan_cache:  # OrderedDict: oldest first
+                owner = self._plan_owner.get(key)
+                if owner is not None and counts.get(owner, 0) > quota:
+                    return key
+        return next(iter(self._plan_cache))
 
     def _run_impl(self, graph: Graph, fetches: list[GraphTensor],
                   feed: dict[str, np.ndarray]) -> list[np.ndarray]:
         start = time.perf_counter()
-        compiled = self._plan(graph, tuple(t.op.name for t in fetches))
+        budget = config.memory_budget
+        feed_shapes = ({name: value.shape for name, value in feed.items()}
+                       if budget > 0 else None)
+        compiled = self._plan(graph, tuple(t.op.name for t in fetches),
+                              memory_budget=budget, feed_shapes=feed_shapes)
+        self.last_compiled = compiled
         arena = None
         if config.arena_reuse:
             with self._state_lock:
@@ -495,9 +597,12 @@ class Session:
                     for value in outputs:
                         arena.adopt(value)
                     self._flush_arena_growth(arena)
-                    # per-op last-use release: only in arena mode — without
-                    # it the serial executor keeps every intermediate alive
-                    # until the run ends (the reference semantics)
+                if arena is not None or compiled.remat is not None:
+                    # per-op last-use release: in arena mode, and under a
+                    # memory budget (where the remat schedule's frees are the
+                    # whole point) — otherwise the serial executor keeps
+                    # every intermediate alive until the run ends (the
+                    # reference semantics)
                     for released in compiled.release_after_step[index]:
                         self._release_op(released, compiled, slots, live,
                                          arena)
@@ -688,6 +793,7 @@ class Session:
                     alloc.tracker.release(freed, "dnn")
                 self._arena = None
             self._plan_cache.clear()
+            self._plan_owner.clear()
 
     def __enter__(self) -> "Session":
         return self

@@ -57,17 +57,26 @@ class SessionPool:
         return shard
 
     # -- vanilla lane ----------------------------------------------------------
-    def checkout(self, graph: Graph) -> Session:
-        """An exclusively-owned vanilla (instrumentation-exempt) session."""
+    def checkout(self, graph: Graph, tenant: str | None = None) -> Session:
+        """An exclusively-owned vanilla (instrumentation-exempt) session.
+
+        ``tenant`` charges plans compiled during this checkout to that
+        tenant's plan-cache quota (sessions are shared across tenants of the
+        same graph, so without quotas one tenant's plan churn — e.g. distinct
+        memory-budget variants — could evict another tenant's hot plans).
+        """
         with self._lock:
             shard = self._shard(graph)
             self.checkouts += 1
             if shard.idle:
-                return shard.idle.pop()
+                session = shard.idle.pop()
+                session.cache_tenant = tenant
+                return session
             self.misses += 1
             shard.created += 1
             session = Session(graph)
             session.instrumentation_exempt = True
+            session.cache_tenant = tenant
             return session
 
     def checkin(self, graph: Graph, session: Session) -> None:
@@ -75,12 +84,16 @@ class SessionPool:
             self._shard(graph).idle.append(session)
 
     # -- instrumented lane -----------------------------------------------------
-    def instrumented(self, graph: Graph) -> Session:
+    def instrumented(self, graph: Graph,
+                     tenant: str | None = None) -> Session:
         """The shard's dedicated interceptable session (lease-serialized)."""
         with self._lock:
             shard = self._shard(graph)
             if shard.instrumented is None:
                 shard.instrumented = Session(graph)
+            # the instrumentation lease serializes use, so reassigning the
+            # charged tenant per batch is race-free
+            shard.instrumented.cache_tenant = tenant
             return shard.instrumented
 
     # -- lifecycle / observability ---------------------------------------------

@@ -269,12 +269,12 @@ class ServeRuntime:
             if batch[0].sampled:
                 self._lease.acquire(tenant)
                 try:
-                    session = self._pool.instrumented(tenant.graph)
+                    session = self._pool.instrumented(tenant.graph, tenant.name)
                     self._run_requests(session, tenant, batch, lane)
                 finally:
                     self._lease.release()
             else:
-                session = self._pool.checkout(tenant.graph)
+                session = self._pool.checkout(tenant.graph, tenant.name)
                 try:
                     self._run_requests(session, tenant, batch, lane)
                 finally:

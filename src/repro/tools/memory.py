@@ -28,6 +28,16 @@ from .tracing import GraphTracingTool
 
 __all__ = ["MemoryProfilingTool", "RematerializationPlan"]
 
+#: mapped op types whose outputs cannot be rematerialized: sources have no
+#: recomputable producer (weights would be *lost*, not respilled), matching
+#: the static scheduler's ``repro.analysis.effects.recomputable`` pinning.
+_NON_RECOMPUTABLE = frozenset({"variable", "placeholder", "constant"})
+
+#: store-owned state: excluded from the activation byte model (the slot-table
+#: executor's arena tracker and ``repro.analysis.remat.op_costs`` both give
+#: Variable reads zero bytes because the VariableStore owns that memory).
+_PERSISTENT = frozenset({"variable"})
+
 
 @dataclass
 class RematerializationPlan:
@@ -58,6 +68,8 @@ class MemoryProfilingTool(Tool):
         self.recompute_cost: dict[int, int] = {}
         #: execution order of forward ops
         self.order: list[int] = []
+        #: op_id -> mapped op type (e.g. ``"matmul"``, ``"variable"``)
+        self.op_types: dict[int, str] = {}
         self._input_shapes: dict[int, list] = {}
 
     # -- recording ----------------------------------------------------------------
@@ -77,6 +89,7 @@ class MemoryProfilingTool(Tool):
         if op_id not in self.output_bytes:
             self.order.append(op_id)
         self.output_bytes[op_id] = sum(np.asarray(a).nbytes for a in arrays)
+        self.op_types[op_id] = op_type
         shapes = [np.asarray(a).shape for a in arrays]
         self.recompute_cost[op_id] = flops_for(
             op_type, self._input_shapes.get(op_id, []), shapes)
@@ -94,30 +107,52 @@ class MemoryProfilingTool(Tool):
             last[op_id] = max(consumers) if consumers else position[op_id]
         return last
 
-    def peak_memory(self, evicted: set[int] | None = None) -> int:
-        """Peak live activation bytes; ``evicted`` tensors free immediately."""
+    def _bytes(self, op_id: int, activations_only: bool) -> int:
+        if activations_only and self.op_types.get(op_id) in _PERSISTENT:
+            return 0
+        return self.output_bytes.get(op_id, 0)
+
+    def peak_memory(self, evicted: set[int] | None = None, *,
+                    activations_only: bool = False) -> int:
+        """Peak live activation bytes; ``evicted`` tensors free immediately.
+
+        With ``activations_only`` variable reads count zero bytes, matching
+        the byte model of the static scheduler (``repro.analysis.remat``) and
+        the executor's arena tracker, where that memory is store-owned.
+        """
         evicted = evicted or set()
         last = self._last_consumer_index()
         peak = live = 0
         for index, op_id in enumerate(self.order):
             if op_id not in evicted:
-                live += self.output_bytes.get(op_id, 0)
+                live += self._bytes(op_id, activations_only)
             peak = max(peak, live)
             # free everything whose last consumer just executed
-            live -= sum(self.output_bytes.get(other, 0)
+            live -= sum(self._bytes(other, activations_only)
                         for other in self.order
                         if other not in evicted and last[other] == index)
         return peak
 
-    def rematerialization_plan(self, budget: int) -> RematerializationPlan:
-        """Greedy DTR-style eviction: best bytes-per-recompute-FLOP first."""
-        baseline = self.peak_memory()
+    def rematerialization_plan(self, budget: int, *,
+                               activations_only: bool = False,
+                               ) -> RematerializationPlan:
+        """Greedy DTR-style eviction: best bytes-per-recompute-FLOP first.
+
+        Source ops (variables, placeholders, constants) are never eviction
+        candidates — they have no recomputable producer, so dropping them
+        would lose state rather than trade memory for FLOPs.  This mirrors
+        the static scheduler's ``recomputable`` pinning, which lets the two
+        planners be cross-checked on the same recorded execution.
+        """
+        baseline = self.peak_memory(activations_only=activations_only)
         plan = RematerializationPlan(budget=budget, baseline_peak=baseline,
                                      achieved_peak=baseline)
         if baseline <= budget:
             return plan
         candidates = sorted(
-            (op_id for op_id in self.order if self.output_bytes.get(op_id)),
+            (op_id for op_id in self.order
+             if self._bytes(op_id, activations_only)
+             and self.op_types.get(op_id) not in _NON_RECOMPUTABLE),
             key=lambda op_id: -(self.output_bytes[op_id]
                                 / (1 + self.recompute_cost.get(op_id, 0))))
         evicted: set[int] = set()
@@ -125,7 +160,8 @@ class MemoryProfilingTool(Tool):
             evicted.add(op_id)
             plan.evicted.append(op_id)
             plan.recompute_flops += self.recompute_cost.get(op_id, 0)
-            plan.achieved_peak = self.peak_memory(evicted)
+            plan.achieved_peak = self.peak_memory(
+                evicted, activations_only=activations_only)
             if plan.achieved_peak <= budget:
                 break
         return plan
@@ -134,5 +170,6 @@ class MemoryProfilingTool(Tool):
         self.output_bytes.clear()
         self.recompute_cost.clear()
         self.order.clear()
+        self.op_types.clear()
         self._input_shapes.clear()
         self.tracer.reset()

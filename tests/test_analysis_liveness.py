@@ -92,11 +92,67 @@ class TestCrossCheckDynamic:
                                gm.labels: rng.integers(0, 4, 8)})
         dynamic = tool.peak_memory()
 
-        assert dynamic > 0 and static.peak_bytes > 0
-        ratio = static.peak_bytes / dynamic
-        assert 0.5 <= ratio <= 2.0, (
-            f"static {static.peak_bytes} vs dynamic {dynamic} "
-            f"(ratio {ratio:.2f})")
+        # forward graphs are fully covered by the instrumentation mapping,
+        # so the byte models agree exactly (same ops, same nbytes, same
+        # last-consumer frees)
+        assert dynamic > 0
+        assert static.peak_bytes == dynamic
+
+    @pytest.mark.parametrize("model", ["mlp", "bert", "inception"])
+    def test_remat_planners_agree_on_zoo(self, rng, model):
+        """The dynamic DTR-style planner and the static remat scheduler see
+        the same activation byte model and pin the same source ops."""
+        import repro.models.graph.builders as GM
+        from repro.analysis.remat import plan_remat_for_graph
+        from repro.tools.memory import MemoryProfilingTool
+
+        if model == "mlp":
+            gm = GM.build_mlp(learning_rate=None)
+            feeds = {"input": (8, 16), "labels": (8,)}
+            data = {gm.inputs: rng.standard_normal((8, 16)),
+                    gm.labels: rng.integers(0, 4, 8)}
+        elif model == "bert":
+            gm = GM.build_bert(learning_rate=None)
+            feeds = {"input": (2, 16), "labels": (2, 16)}
+            data = {gm.inputs: rng.integers(0, 32, (2, 16)),
+                    gm.labels: rng.integers(0, 2, (2, 16))}
+        else:
+            gm = GM.build_inception_v3(learning_rate=None)
+            feeds = {"input": (2, 32, 32, 3), "labels": (2,)}
+            data = {gm.inputs: rng.standard_normal((2, 32, 32, 3)),
+                    gm.labels: rng.integers(0, 4, 2)}
+
+        tool = MemoryProfilingTool()
+        sess = gm.session()
+        with amanda.apply(tool):
+            sess.run(gm.loss, data)
+
+        # byte-model parity: the dynamic activation peak (variables are
+        # store-owned, zero bytes) equals the static planner's serial
+        # baseline exactly
+        dyn_baseline = tool.peak_memory(activations_only=True)
+        unbudgeted = plan_remat_for_graph(gm.graph, [gm.loss],
+                                          budget=1 << 60, feed_shapes=feeds)
+        assert dyn_baseline == unbudgeted.baseline_serial_peak
+
+        # under a tight budget both planners evict, neither touches sources
+        budget = int(dyn_baseline * 0.7)
+        dyn_plan = tool.rematerialization_plan(budget,
+                                               activations_only=True)
+        assert dyn_plan.evicted, "budget below baseline must force evictions"
+        sources = {"variable", "placeholder", "constant"}
+        assert all(tool.op_types[op_id] not in sources
+                   for op_id in dyn_plan.evicted)
+
+        static = plan_remat_for_graph(gm.graph, [gm.loss], budget=budget,
+                                      feed_shapes=feeds)
+        assert static.serial_peak <= static.baseline_serial_peak
+        if static.feasible:
+            # the dynamic estimate is optimistic (evicted tensors occupy no
+            # residency at all), so a feasible real schedule implies a
+            # feasible dynamic plan
+            assert dyn_plan.feasible
+            assert dyn_plan.achieved_peak <= budget
 
     def test_static_total_bytes_exact_for_forward_pass(self, rng):
         """Static per-op byte sizes equal the executed array sizes."""

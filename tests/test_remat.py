@@ -1,0 +1,275 @@
+"""Memory-budgeted execution: static rematerialization schedules.
+
+The planner (``repro.analysis.remat``) turns a compiled plan plus per-op
+byte costs into a keep-vs-recompute schedule whenever the liveness bound
+exceeds ``amanda.config.memory_budget``; the slot-table executor then runs
+recomputes as extra slot entries.  These tests cover the planner in
+isolation (chain/ladder graphs with hand-computable byte counts) and the
+full lowering: bit-identical outputs at workers {1, 4}, instrumented and
+quarantined runs, training steps with in-place optimizer updates, seeded
+dropout recompute determinism, and the arena-tracked peak staying within
+the budget on InceptionV3 training.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+import repro.amanda as amanda
+import repro.eager.alloc as alloc
+import repro.graph as G
+import repro.models.graph.builders as GM
+from repro.analysis.remat import plan_remat_for_graph
+from repro.graph import builder as gb
+from repro.tools.faulty import FaultyTool
+
+FEEDS = {"x": (32, 64)}
+ACT = 32 * 64 * 8  # bytes of one (32, 64) float64 activation
+
+
+def ladder_graph(depth=12, seed=None):
+    """Activations read both early and late: eviction genuinely helps.
+
+    Every rung feeds the next relu *and* a final sum, so without remat all
+    ``depth`` activations are live at the reduction.  With ``seed`` the
+    first rung is a seeded dropout (an eviction candidate whose recompute
+    must replay the stashed seed).
+    """
+    with G.default_graph() as g:
+        x = gb.placeholder(name="x")
+        h = gb.dropout(x, rate=0.5, seed=seed, name="Drop") \
+            if seed is not None else x
+        acts = [h] if seed is not None else []
+        for _ in range(depth):
+            h = gb.relu(h)
+            acts.append(h)
+        total = acts[0]
+        for a in acts[1:]:
+            total = total + a
+        out = gb.reduce_mean(total)
+    return g, x, out
+
+
+class TestPlanner:
+    def test_generous_budget_keeps_base_plan(self):
+        g, x, out = ladder_graph()
+        sched = plan_remat_for_graph(g, [out], budget=1 << 60,
+                                     feed_shapes=FEEDS)
+        assert sched.feasible
+        assert sched.num_recomputes == 0
+        assert sched.evicted == ()
+        assert sched.serial_peak == sched.baseline_serial_peak
+        # with nothing evicted the instance list is exactly the base plan
+        assert sched.instances == sorted(sched.instances)
+
+    def test_ladder_eviction_fits_budget(self):
+        g, x, out = ladder_graph()
+        base = plan_remat_for_graph(g, [out], budget=1 << 60,
+                                    feed_shapes=FEEDS)
+        assert base.baseline_serial_peak == 13 * ACT  # 12 rungs + accumulator
+        budget = 8 * ACT
+        sched = plan_remat_for_graph(g, [out], budget=budget,
+                                     feed_shapes=FEEDS)
+        assert sched.num_recomputes > 0
+        assert sched.serial_peak <= budget
+        assert sched.wavefront_peak <= budget
+        assert sched.feasible
+        assert sched.recompute_flops > 0
+
+    def test_chain_fallback_never_worse_than_baseline(self):
+        """A pure chain's peak (producer + consumer) is irreducible; below
+        that floor the planner must return the plain last-use-release plan
+        rather than an eviction schedule that recomputes for nothing."""
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            h = x
+            for _ in range(8):
+                h = gb.relu(h)
+            out = gb.reduce_mean(h)
+        sched = plan_remat_for_graph(g, [out], budget=ACT,
+                                     feed_shapes=FEEDS)
+        assert not sched.feasible
+        assert sched.num_recomputes == 0
+        assert sched.serial_peak == sched.baseline_serial_peak == 2 * ACT
+
+    def test_unseeded_dropout_is_pinned(self):
+        """RNG consumers must execute exactly once; only the seeded variant
+        may be evicted (its recompute replays the stashed seed)."""
+        with G.default_graph() as g:
+            x = gb.placeholder(name="x")
+            du = gb.dropout(x, rate=0.5, seed=None, name="DropU")
+            ds = gb.dropout(x, rate=0.5, seed=7, name="DropS")
+            h = du + ds
+            for _ in range(6):
+                h = gb.relu(h)
+            out = gb.reduce_mean(h + du + ds)
+        sched = plan_remat_for_graph(g, [out], budget=2 * ACT,
+                                     feed_shapes=FEEDS)
+        assert "DropU" not in sched.evicted
+
+    def test_schedule_str_reports_verdict(self):
+        g, x, out = ladder_graph()
+        sched = plan_remat_for_graph(g, [out], budget=8 * ACT,
+                                     feed_shapes=FEEDS)
+        text = str(sched)
+        assert "recomputes" in text and "fits" in text
+
+
+class TestLadderExecution:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bit_identical_under_budget(self, rng, workers):
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess:
+            vanilla = sess.run(out, {x: xv})
+            with amanda.num_workers(workers), amanda.memory_budget(8 * ACT):
+                budgeted = sess.run(out, {x: xv})
+                compiled = sess.last_compiled
+        assert compiled.remat is not None
+        assert compiled.remat_error is None
+        assert compiled.remat.num_recomputes > 0
+        np.testing.assert_array_equal(vanilla, budgeted)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_seeded_dropout_recompute_determinism(self, rng, workers):
+        """Recomputing a seeded dropout replays the stashed seed: repeated
+        budgeted runs and the unbudgeted run all agree bit-for-bit."""
+        g, x, out = ladder_graph(depth=10, seed=7)
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess:
+            vanilla = sess.run(out, {x: xv})
+            with amanda.num_workers(workers), amanda.memory_budget(8 * ACT):
+                first = sess.run(out, {x: xv})
+                second = sess.run(out, {x: xv})
+                compiled = sess.last_compiled
+        assert compiled.remat is not None and compiled.remat_error is None
+        np.testing.assert_array_equal(vanilla, first)
+        np.testing.assert_array_equal(first, second)
+
+    def test_instrumented_run_stays_bit_identical(self, rng):
+        """PyCall instrumentation points are pinned (never recomputed), so a
+        tool observes each op exactly once and outputs stay vanilla."""
+        from repro.tools.memory import MemoryProfilingTool
+
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess:
+            vanilla = sess.run(out, {x: xv})
+            tool = MemoryProfilingTool()
+            with amanda.memory_budget(8 * ACT), amanda.apply(tool):
+                instrumented = sess.run(out, {x: xv})
+        np.testing.assert_array_equal(vanilla, instrumented)
+        assert len(tool.order) > 0  # the tool really saw the ops
+
+    def test_quarantined_run_stays_bit_identical(self, rng):
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess:
+            vanilla = sess.run(out, {x: xv})
+            tool = FaultyTool(i_point="after_forward_op",
+                              mode="instrumentation", op_type="Relu")
+            with amanda.memory_budget(8 * ACT), \
+                    amanda.error_policy("quarantine"), \
+                    amanda.apply(tool) as mgr:
+                out1 = sess.run(out, {x: xv})
+                assert tool.name in mgr.quarantined
+                out2 = sess.run(out, {x: xv})
+        np.testing.assert_array_equal(out1, vanilla)
+        np.testing.assert_array_equal(out2, vanilla)
+
+
+class TestInceptionTraining:
+    BUDGET = 3_000_000
+
+    def _train(self, xv, yv, budget=None, workers=1, steps=2):
+        gm = GM.build_inception_v3(learning_rate=0.1)
+        scope = amanda.memory_budget(budget) if budget \
+            else contextlib.nullcontext()
+        losses = []
+        with gm.session() as sess, amanda.num_workers(workers), scope:
+            alloc.tracker.reset()
+            for _ in range(steps):
+                loss, _ = sess.run([gm.loss, gm.train_op],
+                                   {gm.inputs: xv, gm.labels: yv})
+                losses.append(np.asarray(loss))
+            measured = sum(alloc.tracker.peak.values())
+            compiled = sess.last_compiled
+        return losses, measured, compiled
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        rng = np.random.default_rng(7)
+        return (rng.standard_normal((4, 32, 32, 3)),
+                rng.integers(0, 4, 4))
+
+    @pytest.fixture(scope="class")
+    def vanilla(self, batch):
+        return self._train(*batch)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_training_bit_identical_and_within_budget(self, batch, vanilla,
+                                                      workers):
+        """Two budgeted training steps (in-place AssignSub weight updates)
+        match the unbudgeted run bit-for-bit, and the arena-tracked peak
+        respects the budget the planner promised."""
+        van_losses, van_measured, _ = vanilla
+        losses, measured, compiled = self._train(
+            *batch, budget=self.BUDGET, workers=workers)
+        for expected, got in zip(van_losses, losses):
+            np.testing.assert_array_equal(expected, got)
+        assert compiled.remat is not None
+        assert compiled.remat_error is None
+        assert compiled.remat.feasible
+        assert compiled.remat.num_recomputes > 0
+        assert measured <= self.BUDGET
+        # the budget bought a real reduction, not a rounding error
+        assert measured < 0.5 * van_measured
+
+
+class TestPlanCache:
+    def test_budget_variants_get_distinct_cache_keys(self, rng):
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess:
+            sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 1
+            with amanda.memory_budget(8 * ACT):
+                sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 2
+            with amanda.memory_budget(8 * ACT):  # same budget: cache hit
+                sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 2
+            with amanda.memory_budget(6 * ACT):  # new budget: new plan
+                sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 3
+
+    def test_tenant_quota_protects_hot_plans(self, rng):
+        """One tenant churning budget variants cannot evict another
+        tenant's plan: with two charged tenants each owns half the bound."""
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess, amanda.plan_cache_size(4):
+            sess.cache_tenant = "steady"
+            sess.run(out, {x: xv})
+            steady_key = next(iter(sess._plan_cache))
+            sess.cache_tenant = "churner"
+            for budget in (4, 5, 6, 7, 8, 9):
+                with amanda.memory_budget(budget * ACT):
+                    sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 4
+            assert steady_key in sess._plan_cache
+            owners = [sess._plan_owner[k] for k in sess._plan_cache]
+            assert owners.count("churner") == 3
+
+    def test_untenanted_churn_falls_back_to_global_lru(self, rng):
+        g, x, out = ladder_graph()
+        xv = rng.standard_normal((32, 64))
+        with G.Session(g) as sess, amanda.plan_cache_size(4):
+            sess.run(out, {x: xv})
+            first_key = next(iter(sess._plan_cache))
+            for budget in (4, 5, 6, 7, 8):
+                with amanda.memory_budget(budget * ACT):
+                    sess.run(out, {x: xv})
+            assert len(sess._plan_cache) == 4
+            assert first_key not in sess._plan_cache  # plain LRU evicted it
